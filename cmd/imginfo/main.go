@@ -1,0 +1,86 @@
+// Command imginfo is the objdump/nm analogue for guest images — the
+// paper uses exactly those tools to measure text/data/BSS sizes (§4.2)
+// and to build the fault dictionary's symbol lists (§3.2).
+//
+// Usage:
+//
+//	imginfo -app wavetoy                 # layout + symbol table
+//	imginfo -app minimd -disasm main     # disassemble one function
+//	imginfo -app minicam -dict           # dump the fault dictionary view
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"mpifault/internal/apps"
+	"mpifault/internal/core"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+func main() {
+	app := flag.String("app", "wavetoy", "application image to inspect")
+	disasm := flag.String("disasm", "", "disassemble the named function")
+	dict := flag.Bool("dict", false, "show the fault-dictionary (user-only) totals")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("imginfo: ")
+
+	a, err := apps.Get(*app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := a.Build(a.Default)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *disasm != "" {
+		s, ok := im.Lookup(*disasm)
+		if !ok || s.Kind != image.SymFunc {
+			log.Fatalf("no function %q", *disasm)
+		}
+		fmt.Printf("%s <%s> (%d bytes, %s):\n", *app, s.Name, s.Size, s.Owner)
+		for off := uint32(0); off < s.Size; off += isa.InstrBytes {
+			in := isa.Decode(im.Text[s.Addr-image.TextBase+off:])
+			fmt.Printf("  %08x: %s\n", s.Addr+off, in)
+		}
+		return
+	}
+
+	fmt.Printf("image %s (stands in for %s)\n", a.Name, a.Paper)
+	fmt.Printf("  entry      0x%08x\n", im.Entry)
+	fmt.Printf("  text       0x%08x - 0x%08x  (%d bytes)\n", image.TextBase, im.TextEnd(), len(im.Text))
+	fmt.Printf("  data       0x%08x - 0x%08x  (%d bytes)\n", im.DataBase, im.DataEnd(), len(im.Data))
+	fmt.Printf("  bss        0x%08x - 0x%08x  (%d bytes)\n", im.BSSBase, im.BSSEnd(), im.BSSSize)
+	fmt.Printf("  heap       0x%08x - 0x%08x  (%d bytes max)\n", im.HeapBase, im.HeapLimit, im.HeapLimit-im.HeapBase)
+	fmt.Printf("  stack      0x%08x - 0x%08x  (%d bytes)\n", im.StackBase(), image.StackTop, im.StackSize)
+
+	sizes := im.SectionSizes()
+	fmt.Printf("\nper-owner section bytes (the paper's objdump/nm measurement):\n")
+	for _, owner := range []image.Owner{image.OwnerUser, image.OwnerMPI} {
+		fmt.Printf("  %-5s text %7d  data %6d  bss %7d\n", owner,
+			sizes[owner][image.SymFunc], sizes[owner][image.SymData], sizes[owner][image.SymBSS])
+	}
+
+	if *dict {
+		d := core.NewDictionary(im)
+		text, data, bss := d.Sizes()
+		fmt.Printf("\nfault dictionary (user symbols only, MPI removed):\n")
+		fmt.Printf("  text targets %d bytes across %d symbols\n", text, len(d.Text))
+		fmt.Printf("  data targets %d bytes across %d symbols\n", data, len(d.Data))
+		fmt.Printf("  bss  targets %d bytes across %d symbols\n", bss, len(d.BSS))
+		return
+	}
+
+	syms := append([]image.Symbol(nil), im.Symbols...)
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Addr < syms[j].Addr })
+	fmt.Printf("\nsymbol table (%d symbols):\n", len(syms))
+	for _, s := range syms {
+		fmt.Printf("  %08x %7d %-4s %-4s %s (%s)\n",
+			s.Addr, s.Size, s.Kind, s.Owner, s.Name, s.Module)
+	}
+}

@@ -1,0 +1,62 @@
+// Command memtrace regenerates Tables 5-7 of the paper: the working-set
+// curves (text accesses; data+BSS+heap loads) that explain the low error
+// rates of memory fault injection.  The paper instruments one randomly
+// selected MPI process with Valgrind; here the equivalent tracer attaches
+// to a chosen rank of the simulated cluster.
+//
+// Usage:
+//
+//	memtrace [-app wavetoy|minimd|minicam|all] [-rank 0] [-samples 24]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mpifault/internal/apps"
+	"mpifault/internal/cluster"
+	"mpifault/internal/report"
+	"mpifault/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "all", "application to trace")
+	rank := flag.Int("rank", 0, "rank to attach the tracer to")
+	samples := flag.Int("samples", 24, "number of sample points on the block-count axis")
+	stores := flag.Bool("stores", false, "also count stores as data accesses (the paper counts loads only)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("memtrace: ")
+
+	names := []string{"wavetoy", "minimd", "minicam"}
+	if *app != "all" {
+		names = []string{*app}
+	}
+
+	for _, name := range names {
+		a, err := apps.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, err := a.Build(a.Default)
+		if err != nil {
+			log.Fatalf("build %s: %v", name, err)
+		}
+		tr := trace.New()
+		tr.TrackStores = *stores
+		res := cluster.Run(cluster.Job{
+			Image: im, Size: a.Default.Ranks,
+			Tracer: tr, TraceRank: *rank,
+			WallLimit: 60 * time.Second,
+		})
+		if res.HangDetected {
+			log.Fatalf("%s: traced run hung: %s", name, res.HangCause)
+		}
+		series := tr.Analyze(im, res.Ranks[*rank].HeapUsed, *samples)
+		report.WriteWorkingSet(os.Stdout, fmt.Sprintf("%s, rank %d", name, *rank), series)
+		fmt.Println()
+	}
+}

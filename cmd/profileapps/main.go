@@ -1,0 +1,48 @@
+// Command profileapps regenerates Table 1 of the paper: the per-process
+// profiles (memory section sizes, heap and stack use, incoming message
+// volume and its header/user split) of the three test applications.
+//
+// Usage:
+//
+//	profileapps [-ranks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mpifault/internal/apps"
+	"mpifault/internal/mpi"
+	"mpifault/internal/profile"
+	"mpifault/internal/report"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 0, "override the per-app default world size")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("profileapps: ")
+
+	var profiles []*profile.Profile
+	for _, a := range apps.Registry() {
+		cfg := a.Default
+		if *ranks > 0 {
+			cfg.Ranks = *ranks
+		}
+		im, err := a.Build(cfg)
+		if err != nil {
+			log.Fatalf("build %s: %v", a.Name, err)
+		}
+		p, err := profile.Measure(a.Name, im, cfg.Ranks, mpi.Config{})
+		if err != nil {
+			log.Fatalf("measure %s: %v", a.Name, err)
+		}
+		profiles = append(profiles, p)
+	}
+	report.WriteProfiles(os.Stdout, profiles)
+	fmt.Println()
+	fmt.Println("(wavetoy stands in for Cactus Wavetoy, minimd for NAMD, minicam for CAM;")
+	fmt.Println(" see DESIGN.md for the substitution rationale)")
+}

@@ -1,0 +1,100 @@
+// Message-corruption study: the §6.2 decomposition of message fault
+// sensitivity.  For each workload this example injects bit flips into the
+// incoming Channel stream and splits the outcomes by whether the flipped
+// byte landed in a packet header or in user payload.
+//
+// The paper's findings this reproduces:
+//
+//   - header corruption is violent (~40 % of header flips corrupt the
+//     execution, mostly crash/hang);
+//
+//   - payload corruption of wavetoy's near-zero floating-point arrays is
+//     mostly invisible, masked further by low-precision text output;
+//
+//   - minimd detects much of its payload corruption via checksums;
+//
+//   - minicam, with control-dominated traffic and no checksums, converts
+//     message faults mostly into crashes and hangs.
+//
+//     go run ./examples/message_corruption
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mpifault/internal/apps"
+	"mpifault/internal/classify"
+	"mpifault/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	const injections = 120
+
+	for _, name := range []string{"wavetoy", "minimd", "minicam"} {
+		app, err := apps.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, err := app.Build(app.Default)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(core.Config{
+			Image:           im,
+			Ranks:           app.Default.Ranks,
+			Injections:      injections,
+			Regions:         []core.Region{core.RegionMessage},
+			Seed:            7,
+			KeepExperiments: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		type bucket struct {
+			runs, errors int
+			byOutcome    map[classify.Outcome]int
+		}
+		buckets := map[string]*bucket{
+			"header":  {byOutcome: map[classify.Outcome]int{}},
+			"payload": {byOutcome: map[classify.Outcome]int{}},
+		}
+		for _, e := range res.Experiments {
+			var b *bucket
+			switch {
+			case strings.Contains(e.Desc, "(header)"):
+				b = buckets["header"]
+			case strings.Contains(e.Desc, "(payload)"):
+				b = buckets["payload"]
+			default:
+				continue // injection offset was never reached
+			}
+			b.runs++
+			if e.Outcome.IsError() {
+				b.errors++
+			}
+			b.byOutcome[e.Outcome]++
+		}
+
+		fmt.Printf("%s (stands in for %s):\n", name, app.Paper)
+		for _, k := range []string{"header", "payload"} {
+			b := buckets[k]
+			if b.runs == 0 {
+				continue
+			}
+			fmt.Printf("  %-8s %3d flips, %3.0f%% corrupted the execution  ", k,
+				b.runs, 100*float64(b.errors)/float64(b.runs))
+			var parts []string
+			for o := classify.Outcome(0); o < classify.NumOutcomes; o++ {
+				if n := b.byOutcome[o]; n > 0 && o != classify.Correct {
+					parts = append(parts, fmt.Sprintf("%s %d", o, n))
+				}
+			}
+			fmt.Printf("(%s)\n", strings.Join(parts, ", "))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module mpifault
+
+go 1.22

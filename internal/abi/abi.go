@@ -1,0 +1,159 @@
+// Package abi pins down the guest/host binary interface: system-call
+// numbers, MPI handle constants, datatypes and reduction operators.  The
+// guest MPI library (written in the assembler DSL) and the host MPI runtime
+// both import this package, so the two sides cannot drift apart.
+//
+// System-call convention: the SYS instruction carries the call number in
+// its immediate.  Arguments 1-4 travel in r0-r3; arguments beyond the
+// fourth are pushed onto the guest stack (last argument pushed first, so
+// the fifth argument sits at [sp], the sixth at [sp+4], ...).  The result
+// is returned in r0.
+package abi
+
+// System-call numbers.
+const (
+	SysExit        = 1  // exit(code)          — normal termination
+	SysAbort       = 2  // abort(code)         — application-detected failure
+	SysWrite       = 3  // write(fd, addr, len)
+	SysOpen        = 4  // open(nameAddr, nameLen) -> fd  (named output file)
+	SysWriteInt    = 5  // writeint(fd, value)               — decimal text
+	SysWriteF64    = 6  // writef64(fd, addr, precision)     — fixed-point text
+	SysWriteF64Arr = 7  // writef64arr(fd, addr, count, precision)
+	SysWriteBin    = 8  // writebin(fd, addr, len)        — raw bytes (binary output mode)
+	SysMalloc      = 9  // malloc(size) -> addr, 0 on exhaustion
+	SysFree        = 10 // free(addr)
+	SysClock       = 11 // clock() -> low 32 bits of retired-instruction count
+
+	SysMPIInit          = 32
+	SysMPIFinalize      = 33
+	SysMPICommRank      = 34 // (comm) -> rank
+	SysMPICommSize      = 35 // (comm) -> size
+	SysMPISend          = 36 // (buf, count, dtype, dest, tag, comm)
+	SysMPIRecv          = 37 // (buf, count, dtype, source, tag, comm, statusAddr)
+	SysMPIBarrier       = 38 // (comm)
+	SysMPIBcast         = 39 // (buf, count, dtype, root, comm)
+	SysMPIReduce        = 40 // (sbuf, rbuf, count, dtype, op, root, comm)
+	SysMPIAllreduce     = 41 // (sbuf, rbuf, count, dtype, op, comm)
+	SysMPIGather        = 42 // (sbuf, count, dtype, rbuf, root, comm)
+	SysMPIAllgather     = 43 // (sbuf, count, dtype, rbuf, comm)
+	SysMPIScatter       = 44 // (sbuf, count, dtype, rbuf, root, comm)
+	SysMPIAlltoall      = 45 // (sbuf, count, dtype, rbuf, comm)
+	SysMPIErrhandlerSet = 46 // (comm, handlerAddr)
+	SysMPIWtime         = 47 // (resultAddr) — stores f64 seconds of virtual time
+	SysMPIIsend         = 48 // (buf, count, dtype, dest, tag, comm, reqAddr)
+	SysMPIIrecv         = 49 // (buf, count, dtype, source, tag, comm, reqAddr)
+	SysMPIWait          = 50 // (reqAddr, statusAddr)
+	SysMPIWaitall       = 51 // (count, reqArrayAddr, statusArrayAddr)
+	SysMPISendrecv      = 52 // (sbuf, scount, dtype, dest, stag, rbuf, rcount, source, rtag, comm, statusAddr)
+	SysMPICommSplit     = 53 // (comm, color, key, newcommAddr)
+	SysMPICommDup       = 54 // (comm, newcommAddr)
+)
+
+// Standard file descriptors.
+const (
+	FdStdout = 1
+	FdStderr = 2
+	// FdFileBase is the first descriptor handed out by SysOpen.
+	FdFileBase = 3
+)
+
+// MPI communicator handles.
+const (
+	CommWorld = 91 // MPI_COMM_WORLD (arbitrary nonzero tag value, as in MPICH)
+	CommSelf  = 92
+)
+
+// MPI datatypes.
+const (
+	DTInt32 = 0
+	DTF64   = 1
+	DTByte  = 2
+)
+
+// DTSize returns the size in bytes of a datatype, or 0 if invalid.
+func DTSize(dt int32) uint32 {
+	switch dt {
+	case DTInt32:
+		return 4
+	case DTF64:
+		return 8
+	case DTByte:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MPI reduction operators.
+const (
+	OpSum = iota
+	OpProd
+	OpMin
+	OpMax
+	NumOps
+)
+
+// Wildcards, as in MPI 1.1.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// MaxUserTag is the largest tag a user send/recv may carry (MPI_TAG_UB).
+const MaxUserTag = 32767
+
+// MPI error classes (subset of MPI 1.1).
+const (
+	ErrSuccess = 0
+	ErrBuffer  = 1
+	ErrCount   = 2
+	ErrType    = 3
+	ErrTag     = 4
+	ErrComm    = 5
+	ErrRank    = 6
+	ErrOp      = 7
+	ErrArg     = 12
+	ErrOther   = 15
+)
+
+// ErrName returns the MPICH-style name of an error class.
+func ErrName(code int32) string {
+	switch code {
+	case ErrSuccess:
+		return "MPI_SUCCESS"
+	case ErrBuffer:
+		return "MPI_ERR_BUFFER"
+	case ErrCount:
+		return "MPI_ERR_COUNT"
+	case ErrType:
+		return "MPI_ERR_TYPE"
+	case ErrTag:
+		return "MPI_ERR_TAG"
+	case ErrComm:
+		return "MPI_ERR_COMM"
+	case ErrRank:
+		return "MPI_ERR_RANK"
+	case ErrOp:
+		return "MPI_ERR_OP"
+	case ErrArg:
+		return "MPI_ERR_ARG"
+	default:
+		return "MPI_ERR_OTHER"
+	}
+}
+
+// Exit codes with harness-level meaning.
+const (
+	ExitOK = 0
+	// ExitAppDetected is the code the guest runtime's abort() uses after an
+	// application-level consistency check fails (assertion, NaN check,
+	// checksum mismatch, bound check).
+	ExitAppDetected = 86
+)
+
+// Heap chunk tags — the analogue of the paper's malloc-wrapper identifier
+// distinguishing user allocations from MPI-library allocations.
+const (
+	ChunkUser = 0x55534552 // "USER"
+	ChunkMPI  = 0x4D504921 // "MPI!"
+)

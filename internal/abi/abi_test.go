@@ -1,0 +1,54 @@
+package abi
+
+import "testing"
+
+func TestDTSize(t *testing.T) {
+	cases := map[int32]uint32{DTInt32: 4, DTF64: 8, DTByte: 1, 99: 0, -1: 0}
+	for dt, want := range cases {
+		if got := DTSize(dt); got != want {
+			t.Errorf("DTSize(%d) = %d, want %d", dt, got, want)
+		}
+	}
+}
+
+func TestErrNames(t *testing.T) {
+	if ErrName(ErrSuccess) != "MPI_SUCCESS" {
+		t.Error("success name")
+	}
+	if ErrName(ErrRank) != "MPI_ERR_RANK" {
+		t.Error("rank name")
+	}
+	if ErrName(1234) != "MPI_ERR_OTHER" {
+		t.Error("unknown classes map to OTHER")
+	}
+}
+
+func TestSyscallNumbersDistinct(t *testing.T) {
+	nums := []int32{
+		SysExit, SysAbort, SysWrite, SysOpen, SysWriteInt, SysWriteF64,
+		SysWriteF64Arr, SysWriteBin, SysMalloc, SysFree, SysClock,
+		SysMPIInit, SysMPIFinalize, SysMPICommRank, SysMPICommSize,
+		SysMPISend, SysMPIRecv, SysMPIBarrier, SysMPIBcast, SysMPIReduce,
+		SysMPIAllreduce, SysMPIGather, SysMPIAllgather, SysMPIScatter,
+		SysMPIAlltoall, SysMPIErrhandlerSet, SysMPIWtime,
+	}
+	seen := map[int32]bool{}
+	for _, n := range nums {
+		if seen[n] {
+			t.Fatalf("duplicate syscall number %d", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestChunkTagsDistinct(t *testing.T) {
+	if ChunkUser == ChunkMPI {
+		t.Fatal("chunk tags must differ")
+	}
+}
+
+func TestUserTagRange(t *testing.T) {
+	if MaxUserTag < 32767 {
+		t.Fatal("MPI_TAG_UB must be at least 32767")
+	}
+}

@@ -1,0 +1,136 @@
+package apps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpifault/internal/cluster"
+	"mpifault/internal/vm"
+)
+
+// runConfig builds and runs an app under a modified configuration.
+func runConfig(t *testing.T, name string, mutate func(*Config)) *cluster.Result {
+	t.Helper()
+	a, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := a.Default
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	im, err := a.Build(cfg)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	res := cluster.Run(cluster.Job{Image: im, Size: cfg.Ranks, Budget: 500_000_000})
+	if res.HangDetected {
+		t.Fatalf("%s: hang: %s", name, res.HangCause)
+	}
+	for r, rr := range res.Ranks {
+		if rr.Trap == nil || rr.Trap.Kind != vm.TrapExit || rr.Trap.Code != 0 {
+			t.Fatalf("%s: rank %d: %v (stderr %s)", name, r, rr.Trap, res.Stderr[r])
+		}
+	}
+	return res
+}
+
+func TestWavetoyBinaryOutputGolden(t *testing.T) {
+	res := runConfig(t, "wavetoy", func(c *Config) { c.BinaryOutput = true })
+	out := res.Files["wavetoy.out"]
+	if want := 8 * 256 * 8; len(out) != want {
+		t.Fatalf("binary output %d bytes, want %d", len(out), want)
+	}
+	// Binary and text runs must encode the same field: spot-check that
+	// the binary dump is not all zeros (the pulse exists).
+	if bytes.Count(out, []byte{0}) == len(out) {
+		t.Fatal("binary output is all zeros")
+	}
+}
+
+func TestMiniMDChecksumsOffGolden(t *testing.T) {
+	res := runConfig(t, "minimd", func(c *Config) { c.Checksums = false })
+	if !strings.Contains(string(res.Stdout[0]), "STEP 0 ENERGY ") {
+		t.Fatalf("stdout = %q", res.Stdout[0])
+	}
+}
+
+func TestMiniMDChecksumOverheadSmall(t *testing.T) {
+	on := runConfig(t, "minimd", nil)
+	off := runConfig(t, "minimd", func(c *Config) { c.Checksums = false })
+	var maxOn, maxOff uint64
+	for r := range on.Ranks {
+		if on.Ranks[r].Instrs > maxOn {
+			maxOn = on.Ranks[r].Instrs
+		}
+		if off.Ranks[r].Instrs > maxOff {
+			maxOff = off.Ranks[r].Instrs
+		}
+	}
+	if maxOn <= maxOff {
+		t.Fatal("checksums must cost something")
+	}
+	overhead := 100 * float64(maxOn-maxOff) / float64(maxOff)
+	// The paper measured ~3% for NAMD; ours must stay the same order.
+	if overhead > 15 {
+		t.Fatalf("checksum overhead %.1f%%, want small", overhead)
+	}
+}
+
+func TestChecksOffDisablesDetection(t *testing.T) {
+	// With Checks disabled, minicam must still run clean (the checks are
+	// not load-bearing in a fault-free execution).
+	res := runConfig(t, "minicam", func(c *Config) { c.Checks = false })
+	if !strings.Contains(string(res.Stdout[0]), "minicam: simulation complete") {
+		t.Fatalf("stdout = %q", res.Stdout[0])
+	}
+}
+
+func TestStepsScaleOutputAndWork(t *testing.T) {
+	short := runConfig(t, "wavetoy", func(c *Config) { c.Steps = 4 })
+	long := runConfig(t, "wavetoy", func(c *Config) { c.Steps = 24 })
+	var sInstr, lInstr uint64
+	for r := range short.Ranks {
+		sInstr += short.Ranks[r].Instrs
+		lInstr += long.Ranks[r].Instrs
+	}
+	if lInstr <= sInstr {
+		t.Fatal("more steps must retire more instructions")
+	}
+	// The output file layout is step-independent (one line per point).
+	if bytes.Count(short.Files["wavetoy.out"], []byte{'\n'}) !=
+		bytes.Count(long.Files["wavetoy.out"], []byte{'\n'}) {
+		t.Fatal("output size must not depend on step count")
+	}
+}
+
+func TestSmallerWorldStillRuns(t *testing.T) {
+	for _, name := range []string{"wavetoy", "minimd", "minicam"} {
+		a, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := a.Default
+		cfg.Ranks = 2
+		im, err := a.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := cluster.Run(cluster.Job{Image: im, Size: 2, Budget: 500_000_000})
+		if res.HangDetected {
+			t.Fatalf("%s at 2 ranks: hang: %s", name, res.HangCause)
+		}
+		for r, rr := range res.Ranks {
+			if rr.Trap == nil || rr.Trap.Kind != vm.TrapExit {
+				t.Fatalf("%s at 2 ranks: rank %d: %v", name, r, rr.Trap)
+			}
+		}
+	}
+}
+
+func TestUnknownAppRejected(t *testing.T) {
+	if _, err := Get("nosuch"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -1,0 +1,178 @@
+// Package apps builds the three guest workloads of the paper's test
+// suite as programs for the simulated machine:
+//
+//   - wavetoy — the Cactus Wavetoy analogue: a hyperbolic-PDE stencil with
+//     wide floating-point halo exchanges, near-zero field data, plain-text
+//     output, and no internal error checking;
+//   - minimd — the NAMD analogue: particle dynamics with allgathered
+//     position blocks, application-level message checksums, NaN checks on
+//     reduced energies, and bound checks on particle state;
+//   - minicam — the CAM analogue: a climate-style grid code dominated by
+//     control traffic (barriers and scalar reductions each step), with a
+//     moisture minimum-threshold abort and NaN checks but no message
+//     checksums.
+//
+// The mapping of each application's characteristics to the paper's
+// profiles (Table 1) and behaviours (§6.2) is described in DESIGN.md.
+package apps
+
+import (
+	"fmt"
+
+	"mpifault/internal/asm"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// Config parameterizes a workload build.
+type Config struct {
+	// Ranks is the MPI world size the binary will be run with (affects
+	// only default buffer sizing hints; the binary reads the true size
+	// from MPI_Comm_size).
+	Ranks int
+	// Steps is the number of simulation time steps.
+	Steps int32
+	// Scale is the per-rank problem size (grid points / particles).
+	Scale int32
+	// OutPrecision is the fixed-point decimal precision of text output.
+	OutPrecision int32
+	// BinaryOutput switches the final result file to raw binary, the §7
+	// alternative that exposes low-order-bit corruption.
+	BinaryOutput bool
+	// Checks enables internal consistency checks (NaN, bounds,
+	// thresholds).  Wavetoy has none regardless.
+	Checks bool
+	// Checksums enables minimd's application-level message checksums.
+	Checksums bool
+	// HeapSize and StackSize override the link defaults when nonzero.
+	HeapSize  uint32
+	StackSize uint32
+	// SpillRegisters emits the compute kernels the way an unoptimizing
+	// compiler would: loop state reloaded from memory at every iteration,
+	// so registers hold live values only briefly.  §6.1.1 (citing
+	// Springer's PowerPC study) argues this makes code *more* robust to
+	// register upsets at some performance cost; the ablation benchmark
+	// measures exactly that trade-off.
+	SpillRegisters bool
+}
+
+// App couples a workload name with its builder and defaults.
+type App struct {
+	Name    string
+	Paper   string // the application it stands in for
+	Default Config
+	Build   func(Config) (*image.Image, error)
+}
+
+// Registry returns the three workloads in paper order.
+func Registry() []App {
+	return []App{
+		{
+			Name:  "wavetoy",
+			Paper: "Cactus Wavetoy",
+			Default: Config{
+				Ranks: 8, Steps: 12, Scale: 256, OutPrecision: 6,
+			},
+			Build: BuildWavetoy,
+		},
+		{
+			Name:  "minimd",
+			Paper: "NAMD",
+			Default: Config{
+				Ranks: 8, Steps: 10, Scale: 96, OutPrecision: 4,
+				Checks: true, Checksums: true,
+			},
+			Build: BuildMiniMD,
+		},
+		{
+			Name:  "minicam",
+			Paper: "CAM",
+			Default: Config{
+				Ranks: 8, Steps: 16, Scale: 192, OutPrecision: 12,
+				Checks: true,
+			},
+			Build: BuildMiniCAM,
+		},
+	}
+}
+
+// defString defines a string data symbol and returns its length, so call
+// sites never hand-count bytes.
+func defString(m interface{ DataString(name, s string) }, name, s string) int32 {
+	m.DataString(name, s)
+	return int32(len(s))
+}
+
+// addColdCode emits nfuncs never-called utility functions into the
+// module.  Real scientific binaries carry large amounts of code that a
+// given run never executes (option handling, I/O formats, error paths,
+// alternative solvers); the paper's Tables 5-7 show text working sets of
+// only 8-30 %, and §6.1.2 attributes the low text-fault error rates
+// directly to that cold fraction.  The filler functions are legitimate,
+// decodable code — a fault that redirects control into them executes
+// plausibly rather than hitting a hole in the address space.
+func addColdCode(m *asm.Module, prefix string, nfuncs, bodyLoops int32) {
+	for i := int32(0); i < nfuncs; i++ {
+		f := m.Func(fmt.Sprintf("%s_cold_%d", prefix, i))
+		f.Prologue(16)
+		f.LdArg(isa.R0, 0)
+		f.Movi(isa.R1, 0)
+		loop, done := f.NewLabel(), f.NewLabel()
+		f.Label(loop)
+		f.Cmpi(isa.R1, bodyLoops)
+		f.Bge(done)
+		f.Fild(isa.R1)
+		f.FldConst(1.5 + float64(i)*0.25)
+		f.Fmulp()
+		f.FldConst(0.75)
+		f.Faddp()
+		f.FstpLocal(8)
+		f.FldLocal(8)
+		f.Fsqrt()
+		f.FstpLocal(16)
+		f.Add(isa.R0, isa.R0, isa.R1)
+		f.Xori(isa.R0, isa.R0, 0x5A5A)
+		f.Addi(isa.R1, isa.R1, 1)
+		f.Jmp(loop)
+		f.Label(done)
+		f.Epilogue()
+	}
+}
+
+// addColdData defines a never-read BSS region (the analogue of statically
+// sized buffers — restart files, diagnostics, alternate grids — that a
+// production run never touches).
+func addColdData(m *asm.Module, prefix string, bssBytes uint32) {
+	m.BSS(prefix+"_cold_bss", bssBytes)
+}
+
+// emitColdHeapAlloc emits code that allocates a heap buffer and touches
+// only every strideth 8-byte word once during initialization — modelling
+// I/O and staging buffers that are allocated up front, written sparsely
+// at startup, and never revisited (cf. §6.1.2: "only a fraction of the
+// heap was found to be used").  The pointer is stored at ptrSym.
+func emitColdHeapAlloc(f *asm.Func, ptrSym string, bytes, stride int32) {
+	f.CallArgs("malloc", asm.Imm(bytes))
+	f.StSym(ptrSym, 0, isa.R0)
+	f.LdSym(isa.R1, ptrSym, 0)
+	f.Movi(isa.R2, 0)
+	loop, done := f.NewLabel(), f.NewLabel()
+	f.Label(loop)
+	f.Cmpi(isa.R2, bytes)
+	f.Bge(done)
+	f.Fldz()
+	f.Fstpx(isa.R1, isa.R2, 0)
+	f.Addi(isa.R2, isa.R2, stride)
+	f.Jmp(loop)
+	f.Label(done)
+}
+
+// Get returns the registered app with the given name.
+func Get(name string) (App, error) {
+	for _, a := range Registry() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("apps: unknown application %q", name)
+}

@@ -1,0 +1,499 @@
+package apps
+
+import (
+	"mpifault/internal/abi"
+	"mpifault/internal/asm"
+	"mpifault/internal/guest"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// Halo tags for minicam's narrow column exchange.
+const (
+	camTagLeftward  = 3
+	camTagRightward = 4
+)
+
+// camHalo is the number of f64 columns exchanged per side per step —
+// deliberately narrow so control traffic dominates, as it does for CAM.
+const camHalo = 8
+
+// camMoistMsg is the diagnostic printed by the moisture floor check; it
+// is needed both at symbol-definition and at abort-call sites.
+const camMoistMsg = "minicam: moisture below physical threshold, aborting\n"
+
+// camMoistMsgLen is its length as an immediate operand.
+const camMoistMsgLen = int32(len(camMoistMsg))
+
+// camClimN is the number of f64 entries in the static climatology table
+// (BSS).  The table is written in full during initialization but only a
+// small rotating subset is read during computation, giving minicam the
+// init-phase working-set drop Tables 5-7 show.
+const camClimN = 8192
+
+// BuildMiniCAM links the CAM analogue: a climate-style strip of grid
+// columns evolving temperature and moisture fields.
+//
+// Fidelity to the paper's CAM characterization (§4.2.3, §6.2):
+//
+//   - every step runs a barrier, a control broadcast and two scalar
+//     reductions, so the traffic mix is dominated by headers (Table 1:
+//     63 % control for CAM) while halo payloads stay small;
+//   - moisture is guarded by a minimum-threshold check ("any moisture
+//     value below a minimum threshold can trigger a warning and abort");
+//   - the reduced diagnostics are NaN-checked;
+//   - there are *no* message checksums (unlike minimd), so payload
+//     corruption is mostly silent;
+//   - a large result file is written by rank 0 at the end of the run,
+//     with enough precision that corrupt fields show up as Incorrect.
+func BuildMiniCAM(cfg Config) (*image.Image, error) {
+	nx := cfg.Scale // columns per rank
+
+	b := asm.NewBuilder()
+	guest.AddLibc(b)
+	guest.AddLibMPI(b)
+	m := b.Module("minicam", image.OwnerUser)
+
+	lDone := defString(m, "s_done", "minicam: simulation complete\n")
+	defString(m, "s_moist", camMoistMsg)
+	lNan := defString(m, "s_nan", "minicam: NaN in reduced diagnostics, aborting\n")
+	lFile := defString(m, "s_file", "minicam.out")
+	m.DataF64("c_diff", 0.2)      // diffusion coefficient
+	m.DataF64("c_minmoist", 1e-8) // physical moisture floor
+	m.DataF64("c_decay", 0.9995)  // precipitation moisture decay per step
+	m.DataF64("c_heat", 0.001)    // climatology heating scale
+	m.BSS("g_rank", 4)
+	m.BSS("g_size", 4)
+	m.BSS("g_step", 4)
+	m.BSS("g_temp", 4)  // heap: nx+2 f64 (ghosts at ends)
+	m.BSS("g_moist", 4) // heap: nx+2 f64
+	m.BSS("g_sbl", 4)   // halo staging, camHalo f64 each
+	m.BSS("g_sbr", 4)
+	m.BSS("g_rbl", 4)
+	m.BSS("g_rbr", 4)
+	m.BSS("g_gath", 4)
+	m.BSS("g_ctl", 8)  // broadcast control scalar
+	m.BSS("g_msum", 8) // local moisture sum -> reduced
+	m.BSS("g_mtot", 8)
+	m.BSS("g_tmax", 8) // local max temperature -> reduced
+	m.BSS("g_tmaxg", 8)
+	m.BSS("g_clim", camClimN*8) // static climatology table (large BSS, as CAM's)
+	m.BSS("g_iobuf", 4)
+	m.BSS("g_cfgsum", 8)
+
+	// Cold regions (see addColdCode): CAM's text working set is 30 % at
+	// startup and 13 % in the compute phase; its very large BSS (32 MB in
+	// the paper) is mostly never read.
+	addColdCode(m, "cam", 62, 8)
+	addColdData(m, "cam", 64<<10)
+
+	buildMiniCAMInit(m, nx)
+	buildMiniCAMHalo(m, nx)
+	buildMiniCAMPhysics(m, nx, cfg.Checks)
+
+	f := m.Func("main")
+	f.Prologue(64)
+	f.CallArgs("MPI_Init")
+	// Register an error handler, as the paper's harness does for every
+	// application (§5.1): argument-check failures then surface as the
+	// "MPI Detected" manifestation instead of the default fatal abort.
+	f.CallArgs("MPI_Errhandler_set", asm.Imm(abi.CommWorld), asm.Sym("cam_cold_0"))
+	f.CallArgs("MPI_Comm_rank", asm.Imm(abi.CommWorld))
+	f.StSym("g_rank", 0, isa.R0)
+	f.CallArgs("MPI_Comm_size", asm.Imm(abi.CommWorld))
+	f.StSym("g_size", 0, isa.R0)
+
+	alloc := func(sym string, bytes int32) {
+		f.CallArgs("malloc", asm.Imm(bytes))
+		f.StSym(sym, 0, isa.R0)
+	}
+	alloc("g_temp", (nx+2)*8)
+	alloc("g_moist", (nx+2)*8)
+	alloc("g_sbl", camHalo*8)
+	alloc("g_sbr", camHalo*8)
+	alloc("g_rbl", camHalo*8)
+	alloc("g_rbr", camHalo*8)
+	emitColdHeapAlloc(f, "g_iobuf", 16<<10, 64)
+
+	f.LdSym(isa.R0, "g_rank", 0)
+	f.Cmpi(isa.R0, 0)
+	skipGath := f.NewLabel()
+	f.Bne(skipGath)
+	f.LdSym(isa.R1, "g_size", 0)
+	f.Muli(isa.R1, isa.R1, nx*8*2) // temperature and moisture
+	f.CallArgs("malloc", asm.Reg(isa.R1))
+	f.StSym("g_gath", 0, isa.R0)
+	f.Label(skipGath)
+
+	f.CallArgs("minicam_init")
+
+	// Time-step loop.
+	f.Movi(isa.R4, 0)
+	f.StSym("g_step", 0, isa.R4)
+	loop, done := f.NewLabel(), f.NewLabel()
+	f.Label(loop)
+	f.LdSym(isa.R4, "g_step", 0)
+	f.Cmpi(isa.R4, cfg.Steps)
+	f.Bge(done)
+
+	// Step-control phase: barrier + control scalar broadcast.  This is
+	// what makes minicam's traffic header-dominated.
+	f.CallArgs("MPI_Barrier", asm.Imm(abi.CommWorld))
+	f.LdSym(isa.R0, "g_rank", 0)
+	f.Cmpi(isa.R0, 0)
+	skipCtl := f.NewLabel()
+	f.Bne(skipCtl)
+	f.Fld1()
+	f.FstpSym("g_ctl", 0)
+	f.Label(skipCtl)
+	f.CallArgs("MPI_Bcast", asm.Sym("g_ctl"), asm.Imm(1), asm.Imm(abi.DTF64),
+		asm.Imm(0), asm.Imm(abi.CommWorld))
+
+	f.CallArgs("minicam_halo")
+	f.CallArgs("minicam_physics")
+
+	// Scalar diagnostics: global moisture sum and global max temperature.
+	f.CallArgs("MPI_Allreduce", asm.Sym("g_msum"), asm.Sym("g_mtot"),
+		asm.Imm(1), asm.Imm(abi.DTF64), asm.Imm(abi.OpSum), asm.Imm(abi.CommWorld))
+	f.CallArgs("MPI_Allreduce", asm.Sym("g_tmax"), asm.Sym("g_tmaxg"),
+		asm.Imm(1), asm.Imm(abi.DTF64), asm.Imm(abi.OpMax), asm.Imm(abi.CommWorld))
+	if cfg.Checks {
+		f.CallArgs("fchecknan", asm.Sym("g_mtot"), asm.Sym("s_nan"), asm.Imm(lNan))
+		f.CallArgs("fchecknan", asm.Sym("g_tmaxg"), asm.Sym("s_nan"), asm.Imm(lNan))
+	}
+
+	f.LdSym(isa.R4, "g_step", 0)
+	f.Addi(isa.R4, isa.R4, 1)
+	f.StSym("g_step", 0, isa.R4)
+	f.Jmp(loop)
+	f.Label(done)
+
+	// Gather both fields to rank 0 and write the (large) result file.
+	f.LdSym(isa.R1, "g_temp", 0)
+	f.Addi(isa.R1, isa.R1, 8)
+	f.LdSym(isa.R2, "g_gath", 0)
+	f.CallArgs("MPI_Gather", asm.Reg(isa.R1), asm.Imm(nx), asm.Imm(abi.DTF64),
+		asm.Reg(isa.R2), asm.Imm(0), asm.Imm(abi.CommWorld))
+	f.LdSym(isa.R1, "g_moist", 0)
+	f.Addi(isa.R1, isa.R1, 8)
+	f.LdSym(isa.R2, "g_gath", 0)
+	f.LdSym(isa.R3, "g_size", 0)
+	f.Muli(isa.R3, isa.R3, nx*8)
+	f.Add(isa.R2, isa.R2, isa.R3)
+	f.CallArgs("MPI_Gather", asm.Reg(isa.R1), asm.Imm(nx), asm.Imm(abi.DTF64),
+		asm.Reg(isa.R2), asm.Imm(0), asm.Imm(abi.CommWorld))
+
+	f.LdSym(isa.R0, "g_rank", 0)
+	f.Cmpi(isa.R0, 0)
+	skipOut := f.NewLabel()
+	f.Bne(skipOut)
+	f.CallArgs("open", asm.Sym("s_file"), asm.Imm(lFile))
+	f.Push(isa.R0)
+	f.LdSym(isa.R1, "g_gath", 0)
+	f.LdSym(isa.R2, "g_size", 0)
+	f.Muli(isa.R2, isa.R2, nx*2)
+	f.Pop(isa.R4)
+	if cfg.BinaryOutput {
+		f.Shli(isa.R2, isa.R2, 3)
+		f.CallArgs("write_bin", asm.Reg(isa.R4), asm.Reg(isa.R1), asm.Reg(isa.R2))
+	} else {
+		f.CallArgs("print_f64arr", asm.Reg(isa.R4), asm.Reg(isa.R1),
+			asm.Reg(isa.R2), asm.Imm(cfg.OutPrecision))
+	}
+	f.CallArgs("print", asm.Imm(abi.FdStdout), asm.Sym("s_done"), asm.Imm(lDone))
+	f.Label(skipOut)
+
+	f.CallArgs("MPI_Finalize")
+	f.Movi(isa.R0, 0)
+	f.Epilogue()
+
+	return b.Link(asm.LinkConfig{HeapSize: cfg.HeapSize, StackSize: cfg.StackSize})
+}
+
+// buildMiniCAMInit fills the climatology table (touching all of the large
+// BSS array once — the initialization-phase working set) and seeds the
+// temperature and moisture fields.
+func buildMiniCAMInit(m *asm.Module, nx int32) {
+	f := m.Func("minicam_init")
+	f.Prologue(64)
+
+	// Climatology: clim[j] = 0.5 + 0.4 * ((j*29) mod 101 - 50)/50
+	f.MoviSym(isa.R3, "g_clim", 0)
+	f.Movi(isa.R4, 0) // byte offset
+	cl, cd := f.NewLabel(), f.NewLabel()
+	f.Label(cl)
+	f.Cmpi(isa.R4, camClimN*8)
+	f.Bge(cd)
+	f.Shri(isa.R0, isa.R4, 3)
+	f.Muli(isa.R0, isa.R0, 29)
+	f.Movi(isa.R5, 101)
+	f.Rems(isa.R0, isa.R0, isa.R5)
+	f.Addi(isa.R0, isa.R0, -50)
+	f.Fild(isa.R0)
+	f.FldConst(0.008) // 0.4/50
+	f.Fmulp()
+	f.FldConst(0.5)
+	f.Faddp()
+	f.Fstpx(isa.R3, isa.R4, 0)
+	f.Addi(isa.R4, isa.R4, 8)
+	f.Jmp(cl)
+	f.Label(cd)
+
+	// Normalization pass: read the whole climatology table once.  These
+	// initialization-only loads are what make the Table 7 working-set
+	// curve start high and drop at the phase shift — the compute kernel
+	// reads only a small rotating subset of the table.
+	f.Fldz()
+	f.Movi(isa.R4, 0)
+	nl, nd := f.NewLabel(), f.NewLabel()
+	f.Label(nl)
+	f.Cmpi(isa.R4, camClimN*8)
+	f.Bge(nd)
+	f.Fldx(isa.R3, isa.R4, 0)
+	f.Faddp()
+	f.Addi(isa.R4, isa.R4, 8)
+	f.Jmp(nl)
+	f.Label(nd)
+	f.FstpSym("g_cfgsum", 0)
+
+	// Fields: T = 280 + small lattice variation, M = 0.5 + variation.
+	f.LdSym(isa.R1, "g_temp", 0)
+	f.LdSym(isa.R2, "g_moist", 0)
+	f.LdSym(isa.R3, "g_rank", 0)
+	f.Muli(isa.R3, isa.R3, nx)
+	f.Movi(isa.R4, 0)
+	fl, fd := f.NewLabel(), f.NewLabel()
+	f.Label(fl)
+	f.Cmpi(isa.R4, (nx+2)*8)
+	f.Bge(fd)
+	f.Shri(isa.R0, isa.R4, 3)
+	f.Add(isa.R0, isa.R0, isa.R3)
+	f.Muli(isa.R5, isa.R0, 7)
+	f.Movi(isa.R0, 23)
+	f.Rems(isa.R5, isa.R5, isa.R0)
+	f.Addi(isa.R5, isa.R5, -11)
+	f.Fild(isa.R5) // [p]
+	f.Fldst(0)
+	f.FldConst(0.05)
+	f.Fmulp()         // [0.05p, p]
+	f.FldConst(280.0) // [280, .05p, p]
+	f.Faddp()         // [T, p]
+	f.Fstpx(isa.R1, isa.R4, 0)
+	f.FldConst(0.004)
+	f.Fmulp() // [0.004p]
+	f.FldConst(0.5)
+	f.Faddp() // [M]
+	f.Fstpx(isa.R2, isa.R4, 0)
+	f.Addi(isa.R4, isa.R4, 8)
+	f.Jmp(fl)
+	f.Label(fd)
+	f.Epilogue()
+}
+
+// buildMiniCAMHalo exchanges narrow column blocks of the temperature
+// field with both neighbours, parity-ordered (same scheme as wavetoy but
+// with small eager payloads).
+func buildMiniCAMHalo(m *asm.Module, nx int32) {
+	h := int32(camHalo)
+	f := m.Func("minicam_halo")
+	f.Prologue(64)
+
+	f.LdSym(isa.R0, "g_sbl", 0)
+	f.LdSym(isa.R1, "g_temp", 0)
+	f.Addi(isa.R1, isa.R1, 8)
+	f.CallArgs("memcpyw", asm.Reg(isa.R0), asm.Reg(isa.R1), asm.Imm(h*2))
+	f.LdSym(isa.R0, "g_sbr", 0)
+	f.LdSym(isa.R1, "g_temp", 0)
+	f.Addi(isa.R1, isa.R1, 8*(nx-h+1))
+	f.CallArgs("memcpyw", asm.Reg(isa.R0), asm.Reg(isa.R1), asm.Imm(h*2))
+
+	sendLeft := func() {
+		skip := f.NewLabel()
+		f.LdSym(isa.R0, "g_rank", 0)
+		f.Cmpi(isa.R0, 0)
+		f.Beq(skip)
+		f.Addi(isa.R2, isa.R0, -1)
+		f.LdSym(isa.R1, "g_sbl", 0)
+		f.CallArgs("MPI_Send", asm.Reg(isa.R1), asm.Imm(h), asm.Imm(abi.DTF64),
+			asm.Reg(isa.R2), asm.Imm(camTagLeftward), asm.Imm(abi.CommWorld))
+		f.Label(skip)
+	}
+	sendRight := func() {
+		skip := f.NewLabel()
+		f.LdSym(isa.R0, "g_rank", 0)
+		f.LdSym(isa.R3, "g_size", 0)
+		f.Addi(isa.R3, isa.R3, -1)
+		f.Cmp(isa.R0, isa.R3)
+		f.Beq(skip)
+		f.Addi(isa.R2, isa.R0, 1)
+		f.LdSym(isa.R1, "g_sbr", 0)
+		f.CallArgs("MPI_Send", asm.Reg(isa.R1), asm.Imm(h), asm.Imm(abi.DTF64),
+			asm.Reg(isa.R2), asm.Imm(camTagRightward), asm.Imm(abi.CommWorld))
+		f.Label(skip)
+	}
+	recvLeft := func() {
+		skip := f.NewLabel()
+		f.LdSym(isa.R0, "g_rank", 0)
+		f.Cmpi(isa.R0, 0)
+		f.Beq(skip)
+		f.Addi(isa.R2, isa.R0, -1)
+		f.LdSym(isa.R1, "g_rbl", 0)
+		f.CallArgs("MPI_Recv", asm.Reg(isa.R1), asm.Imm(h), asm.Imm(abi.DTF64),
+			asm.Reg(isa.R2), asm.Imm(camTagRightward), asm.Imm(abi.CommWorld), asm.Imm(0))
+		f.Label(skip)
+	}
+	recvRight := func() {
+		skip := f.NewLabel()
+		f.LdSym(isa.R0, "g_rank", 0)
+		f.LdSym(isa.R3, "g_size", 0)
+		f.Addi(isa.R3, isa.R3, -1)
+		f.Cmp(isa.R0, isa.R3)
+		f.Beq(skip)
+		f.Addi(isa.R2, isa.R0, 1)
+		f.LdSym(isa.R1, "g_rbr", 0)
+		f.CallArgs("MPI_Recv", asm.Reg(isa.R1), asm.Imm(h), asm.Imm(abi.DTF64),
+			asm.Reg(isa.R2), asm.Imm(camTagLeftward), asm.Imm(abi.CommWorld), asm.Imm(0))
+		f.Label(skip)
+	}
+
+	odd, join := f.NewLabel(), f.NewLabel()
+	f.LdSym(isa.R4, "g_rank", 0)
+	f.Andi(isa.R4, isa.R4, 1)
+	f.Cmpi(isa.R4, 0)
+	f.Bne(odd)
+	sendLeft()
+	sendRight()
+	recvLeft()
+	recvRight()
+	f.Jmp(join)
+	f.Label(odd)
+	recvRight()
+	recvLeft()
+	sendRight()
+	sendLeft()
+	f.Label(join)
+
+	// Ghosts (temperature only): T[0], T[nx+1].
+	zeroL, afterL := f.NewLabel(), f.NewLabel()
+	f.LdSym(isa.R1, "g_temp", 0)
+	f.LdSym(isa.R0, "g_rank", 0)
+	f.Cmpi(isa.R0, 0)
+	f.Beq(zeroL)
+	f.LdSym(isa.R2, "g_rbl", 0)
+	f.Fld(isa.R2, 8*(h-1))
+	f.Fstp(isa.R1, 0)
+	f.Jmp(afterL)
+	f.Label(zeroL)
+	f.Fld(isa.R1, 8) // insulated boundary: copy the first interior value
+	f.Fstp(isa.R1, 0)
+	f.Label(afterL)
+
+	zeroR, afterR := f.NewLabel(), f.NewLabel()
+	f.LdSym(isa.R0, "g_rank", 0)
+	f.LdSym(isa.R3, "g_size", 0)
+	f.Addi(isa.R3, isa.R3, -1)
+	f.Cmp(isa.R0, isa.R3)
+	f.Beq(zeroR)
+	f.LdSym(isa.R2, "g_rbr", 0)
+	f.Fld(isa.R2, 0)
+	f.Fstp(isa.R1, 8*(nx+1))
+	f.Jmp(afterR)
+	f.Label(zeroR)
+	f.Fld(isa.R1, 8*nx)
+	f.Fstp(isa.R1, 8*(nx+1))
+	f.Label(afterR)
+
+	f.Epilogue()
+}
+
+// buildMiniCAMPhysics updates temperature (diffusion + climatology
+// heating) and moisture (decay toward precipitation), accumulates the
+// step diagnostics, and applies the moisture floor check.
+func buildMiniCAMPhysics(m *asm.Module, nx int32, checks bool) {
+	f := m.Func("minicam_physics")
+	f.Prologue(64)
+	f.Fldz()
+	f.FstpSym("g_msum", 0)
+	f.Fldz()
+	f.FstpSym("g_tmax", 0)
+
+	f.LdSym(isa.R1, "g_temp", 0)
+	f.LdSym(isa.R2, "g_moist", 0)
+	f.MoviSym(isa.R3, "g_clim", 0)
+	f.Movi(isa.R4, 8) // byte offset of column 1
+	loop, done := f.NewLabel(), f.NewLabel()
+	f.Label(loop)
+	f.Cmpi(isa.R4, 8*(nx+1))
+	f.Bge(done)
+
+	// T' = T + diff*(T[i-1] - 2T[i] + T[i+1]) + heat*clim[(i*7+step) mod camClimN]
+	f.Fldx(isa.R1, isa.R4, -8)
+	f.Fldx(isa.R1, isa.R4, 8)
+	f.Faddp() // [Tm+Tp]
+	f.Fldx(isa.R1, isa.R4, 0)
+	f.FldConst(2.0)
+	f.Fmulp()
+	f.Fsubp() // [lap]
+	f.FldSym("c_diff", 0)
+	f.Fmulp() // [diff*lap]
+	// climatology index
+	f.Shri(isa.R0, isa.R4, 3)
+	f.Muli(isa.R0, isa.R0, 7)
+	f.LdSym(isa.R5, "g_step", 0)
+	f.Add(isa.R0, isa.R0, isa.R5)
+	f.Movi(isa.R5, camClimN)
+	f.Rems(isa.R0, isa.R0, isa.R5)
+	f.Shli(isa.R0, isa.R0, 3)
+	f.Fldx(isa.R3, isa.R0, 0) // [clim, dlap]
+	f.FldSym("c_heat", 0)
+	f.Fmulp()                 // [h*clim, dlap]
+	f.Faddp()                 // [dT]
+	f.Fldx(isa.R1, isa.R4, 0) // [T, dT]
+	f.Faddp()                 // [T']
+	// track max temperature
+	f.Fldst(0)
+	f.FldSym("g_tmax", 0) // [tmax, T', T']
+	f.Fcomp()             // flags tmax vs T'; pops both -> [T']
+	noNewMax := f.NewLabel()
+	f.Bge(noNewMax)
+	f.Fldst(0)
+	f.FstpSym("g_tmax", 0)
+	f.Label(noNewMax)
+	f.Fstpx(isa.R1, isa.R4, 0)
+
+	// M' = decay * (M + diff*(M[i-1] - 2M + M[i+1]))
+	f.Fldx(isa.R2, isa.R4, -8)
+	f.Fldx(isa.R2, isa.R4, 8)
+	f.Faddp()
+	f.Fldx(isa.R2, isa.R4, 0)
+	f.FldConst(2.0)
+	f.Fmulp()
+	f.Fsubp()
+	f.FldSym("c_diff", 0)
+	f.Fmulp()
+	f.Fldx(isa.R2, isa.R4, 0)
+	f.Faddp()
+	f.FldSym("c_decay", 0)
+	f.Fmulp() // [M']
+	if checks {
+		// Moisture floor: abort when M' < minmoist (§6.2's CAM check).
+		f.Fldst(0)
+		f.FldSym("c_minmoist", 0) // [floor, M', M']
+		f.Fcomp()                 // floor vs M'; pops both -> [M']
+		okm := f.NewLabel()
+		f.Blt(okm) // floor < M' is healthy
+		f.CallArgs("app_abort", asm.Sym("s_moist"), asm.Imm(camMoistMsgLen))
+		f.Label(okm)
+	}
+	// moisture sum diagnostic
+	f.Fldst(0)
+	f.FldSym("g_msum", 0)
+	f.Faddp()
+	f.FstpSym("g_msum", 0)
+	f.Fstpx(isa.R2, isa.R4, 0)
+
+	f.Addi(isa.R4, isa.R4, 8)
+	f.Jmp(loop)
+	f.Label(done)
+	f.Epilogue()
+}

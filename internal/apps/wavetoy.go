@@ -1,0 +1,412 @@
+package apps
+
+import (
+	"mpifault/internal/abi"
+	"mpifault/internal/asm"
+	"mpifault/internal/guest"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// Halo-exchange message tags: blocks travelling toward lower ranks carry
+// tagLeftward; blocks travelling toward higher ranks carry tagRightward.
+const (
+	wtTagLeftward  = 1
+	wtTagRightward = 2
+)
+
+// BuildWavetoy links the Cactus Wavetoy analogue: a 1-D second-order wave
+// equation on a domain strip-decomposed across ranks.
+//
+// Fidelity to the paper's Wavetoy characterization (§4.2.1, §6.2):
+//
+//   - each step exchanges *wide* halo blocks of float64 with both
+//     neighbours, so large FP arrays dominate traffic (~94 % user data);
+//   - the initial condition is a localized pulse, so most transferred
+//     values are very close to zero — payload bit flips rarely matter;
+//   - rank 0 gathers the final field and writes it as fixed-precision
+//     plain text, which masks low-order-digit corruption;
+//   - there are no internal consistency checks of any kind.
+func BuildWavetoy(cfg Config) (*image.Image, error) {
+	n := cfg.Scale // points per rank
+	h := n / 2     // halo block width (wide on purpose; the stencil needs 1)
+	if h < 1 {
+		h = 1
+	}
+
+	b := asm.NewBuilder()
+	guest.AddLibc(b)
+	guest.AddLibMPI(b)
+	m := b.Module("wavetoy", image.OwnerUser)
+
+	m.DataString("s_done", "wavetoy: evolution complete\n")
+	m.DataString("s_file", "wavetoy.out")
+	m.DataF64("c_c2dt", 0.3)   // c^2 dt^2 / dx^2, stable for the 3-pt stencil
+	m.DataF64("c_width", 12.0) // pulse width in grid points
+	m.BSS("g_rank", 4)
+	m.BSS("g_size", 4)
+	m.BSS("g_uprev", 4) // heap pointers to (n+2) f64; ghost cells at the ends
+	m.BSS("g_ucurr", 4)
+	m.BSS("g_unext", 4)
+	m.BSS("g_sbl", 4) // halo staging buffers, h f64 each
+	m.BSS("g_sbr", 4)
+	m.BSS("g_rbl", 4)
+	m.BSS("g_rbr", 4)
+	m.BSS("g_gath", 4)
+	m.BSS("g_step", 4)
+	m.BSS("g_iobuf", 4)
+	m.BSS("g_cfgsum", 8)
+
+	// Cold regions: never-executed utility code, a never-read BSS
+	// buffer, and a startup-only coefficient table (see addColdCode for
+	// the fidelity rationale — Cactus text working set is 30 % at t=0
+	// and 10 % in the compute phase).
+	addColdCode(m, "wt", 45, 8)
+	addColdData(m, "wt", 16<<10)
+	coeffs := make([]float64, 256)
+	for i := range coeffs {
+		coeffs[i] = 1.0 / float64(i+2)
+	}
+	m.DataF64("d_coeffs", coeffs...)
+
+	buildWavetoyInit(m, n)
+	buildWavetoyExchange(m, n, h)
+	buildWavetoyCompute(m, n, cfg.SpillRegisters)
+
+	f := m.Func("main")
+	f.Prologue(64)
+	f.CallArgs("MPI_Init")
+	f.CallArgs("MPI_Comm_rank", asm.Imm(abi.CommWorld))
+	f.StSym("g_rank", 0, isa.R0)
+	f.CallArgs("MPI_Comm_size", asm.Imm(abi.CommWorld))
+	f.StSym("g_size", 0, isa.R0)
+
+	// The grid functions live on the heap, as Wavetoy's do.
+	alloc := func(sym string, bytes int32) {
+		f.CallArgs("malloc", asm.Imm(bytes))
+		f.StSym(sym, 0, isa.R0)
+	}
+	alloc("g_uprev", (n+2)*8)
+	alloc("g_ucurr", (n+2)*8)
+	alloc("g_unext", (n+2)*8)
+	alloc("g_sbl", h*8)
+	alloc("g_sbr", h*8)
+	alloc("g_rbl", h*8)
+	alloc("g_rbr", h*8)
+	// A startup-allocated I/O staging buffer, touched sparsely once and
+	// never revisited — the paper's "only a fraction of the heap used".
+	emitColdHeapAlloc(f, "g_iobuf", 24<<10, 64)
+
+	// Rank 0 owns the gather target for the final field.
+	f.LdSym(isa.R0, "g_rank", 0)
+	f.Cmpi(isa.R0, 0)
+	skipGathAlloc := f.NewLabel()
+	f.Bne(skipGathAlloc)
+	f.LdSym(isa.R1, "g_size", 0)
+	f.Muli(isa.R1, isa.R1, n*8)
+	f.CallArgs("malloc", asm.Reg(isa.R1))
+	f.StSym("g_gath", 0, isa.R0)
+	f.Label(skipGathAlloc)
+
+	f.CallArgs("wavetoy_init")
+
+	// Time-step loop.
+	f.Movi(isa.R4, 0)
+	f.StSym("g_step", 0, isa.R4)
+	loop, done := f.NewLabel(), f.NewLabel()
+	f.Label(loop)
+	f.LdSym(isa.R4, "g_step", 0)
+	f.Cmpi(isa.R4, cfg.Steps)
+	f.Bge(done)
+	f.CallArgs("wavetoy_exchange")
+	f.CallArgs("wavetoy_compute")
+	// Rotate buffers: prev <- curr <- next <- prev.
+	f.LdSym(isa.R1, "g_uprev", 0)
+	f.LdSym(isa.R2, "g_ucurr", 0)
+	f.LdSym(isa.R3, "g_unext", 0)
+	f.StSym("g_uprev", 0, isa.R2)
+	f.StSym("g_ucurr", 0, isa.R3)
+	f.StSym("g_unext", 0, isa.R1)
+	f.LdSym(isa.R4, "g_step", 0)
+	f.Addi(isa.R4, isa.R4, 1)
+	f.StSym("g_step", 0, isa.R4)
+	f.Jmp(loop)
+	f.Label(done)
+
+	// Gather the interior (n points per rank, skipping the ghost cell)
+	// to rank 0 — one large FP message per rank.
+	f.LdSym(isa.R1, "g_ucurr", 0)
+	f.Addi(isa.R1, isa.R1, 8)
+	f.LdSym(isa.R2, "g_gath", 0)
+	f.CallArgs("MPI_Gather", asm.Reg(isa.R1), asm.Imm(n), asm.Imm(abi.DTF64),
+		asm.Reg(isa.R2), asm.Imm(0), asm.Imm(abi.CommWorld))
+
+	// Rank 0 writes the result file and a console line.
+	f.LdSym(isa.R0, "g_rank", 0)
+	f.Cmpi(isa.R0, 0)
+	skipOut := f.NewLabel()
+	f.Bne(skipOut)
+	f.CallArgs("open", asm.Sym("s_file"), asm.Imm(11))
+	f.Push(isa.R0) // fd
+	f.LdSym(isa.R1, "g_gath", 0)
+	f.LdSym(isa.R2, "g_size", 0)
+	f.Muli(isa.R2, isa.R2, n)
+	f.Pop(isa.R4)
+	if cfg.BinaryOutput {
+		f.Shli(isa.R2, isa.R2, 3) // element count -> bytes
+		f.CallArgs("write_bin", asm.Reg(isa.R4), asm.Reg(isa.R1), asm.Reg(isa.R2))
+	} else {
+		f.CallArgs("print_f64arr", asm.Reg(isa.R4), asm.Reg(isa.R1),
+			asm.Reg(isa.R2), asm.Imm(cfg.OutPrecision))
+	}
+	f.CallArgs("print", asm.Imm(abi.FdStdout), asm.Sym("s_done"), asm.Imm(28))
+	f.Label(skipOut)
+
+	f.CallArgs("MPI_Finalize")
+	f.Movi(isa.R0, 0)
+	f.Epilogue()
+
+	return b.Link(asm.LinkConfig{HeapSize: cfg.HeapSize, StackSize: cfg.StackSize})
+}
+
+// buildWavetoyInit emits wavetoy_init: a localized rational pulse
+// u(x) = 1/(1+((x-x0)/w)^2)^2 centred in the global domain.  Points far
+// from the pulse are ~0, reproducing the near-zero payloads of §6.2.
+func buildWavetoyInit(m *asm.Module, n int32) {
+	f := m.Func("wavetoy_init")
+	f.Prologue(64)
+
+	// Startup configuration pass: read the coefficient table once (these
+	// loads exist only in the initialization phase, producing the
+	// working-set drop at the phase shift in Table 5).
+	f.Fldz()
+	f.Movi(isa.R4, 0)
+	cfgLoop, cfgDone := f.NewLabel(), f.NewLabel()
+	f.Label(cfgLoop)
+	f.Cmpi(isa.R4, 256*8)
+	f.Bge(cfgDone)
+	f.MoviSym(isa.R5, "d_coeffs", 0)
+	f.Fldx(isa.R5, isa.R4, 0)
+	f.Faddp()
+	f.Addi(isa.R4, isa.R4, 8)
+	f.Jmp(cfgLoop)
+	f.Label(cfgDone)
+	f.FstpSym("g_cfgsum", 0)
+
+	f.LdSym(isa.R1, "g_uprev", 0)
+	f.LdSym(isa.R2, "g_ucurr", 0)
+	f.LdSym(isa.R3, "g_rank", 0)
+	f.Muli(isa.R3, isa.R3, n) // global index of interior point 0
+	f.Movi(isa.R4, 0)         // i over 0..n+1 (ghosts included)
+	loop, done := f.NewLabel(), f.NewLabel()
+	f.Label(loop)
+	f.Cmpi(isa.R4, n+2)
+	f.Bge(done)
+	// x = rank*n + i - 1; r = (x - x0)/w with x0 = size*n/2.
+	f.Add(isa.R0, isa.R3, isa.R4)
+	f.Addi(isa.R0, isa.R0, -1)
+	f.Fild(isa.R0) // [x]
+	f.LdSym(isa.R0, "g_size", 0)
+	f.Muli(isa.R0, isa.R0, n)
+	f.Sari(isa.R0, isa.R0, 1)
+	f.Fild(isa.R0) // [x0, x]
+	f.Fsubp()      // [x-x0]
+	f.FldSym("c_width", 0)
+	f.Fdivp()  // [r]
+	f.Fldst(0) // [r, r]
+	f.Fmulp()  // [r^2]
+	f.Fld1()
+	f.Faddp()  // [1+r^2]
+	f.Fldst(0) // [q, q]
+	f.Fmulp()  // [q^2]
+	f.Fld1()   // [1, q^2]
+	f.Fxch(1)  // [q^2, 1]
+	f.Fdivp()  // [1/q^2]
+	f.Movr(isa.R5, isa.R4)
+	f.Shli(isa.R5, isa.R5, 3) // byte offset
+	f.Fstpx(isa.R1, isa.R5, 0)
+	f.Fldx(isa.R1, isa.R5, 0)
+	f.Fstpx(isa.R2, isa.R5, 0)
+	f.Addi(isa.R4, isa.R4, 1)
+	f.Jmp(loop)
+	f.Label(done)
+	f.Epilogue()
+}
+
+// buildWavetoyExchange emits wavetoy_exchange: wide halo blocks (h f64)
+// swapped with both neighbours, parity-ordered so the rendezvous protocol
+// cannot deadlock.  Ghost cells come from the received blocks; physical
+// boundaries are held at zero (Dirichlet).
+func buildWavetoyExchange(m *asm.Module, n, h int32) {
+	f := m.Func("wavetoy_exchange")
+	f.Prologue(64)
+
+	// Stage: sbl <- u[1..h], sbr <- u[n-h+1..n].
+	f.LdSym(isa.R0, "g_sbl", 0)
+	f.LdSym(isa.R1, "g_ucurr", 0)
+	f.Addi(isa.R1, isa.R1, 8)
+	f.CallArgs("memcpyw", asm.Reg(isa.R0), asm.Reg(isa.R1), asm.Imm(h*2))
+	f.LdSym(isa.R0, "g_sbr", 0)
+	f.LdSym(isa.R1, "g_ucurr", 0)
+	f.Addi(isa.R1, isa.R1, 8*(n-h+1))
+	f.CallArgs("memcpyw", asm.Reg(isa.R0), asm.Reg(isa.R1), asm.Imm(h*2))
+
+	// Guarded halo operations; each reloads its registers because calls
+	// clobber r0-r5.
+	sendLeft := func() {
+		skip := f.NewLabel()
+		f.LdSym(isa.R0, "g_rank", 0)
+		f.Cmpi(isa.R0, 0)
+		f.Beq(skip)
+		f.Addi(isa.R2, isa.R0, -1)
+		f.LdSym(isa.R1, "g_sbl", 0)
+		f.CallArgs("MPI_Send", asm.Reg(isa.R1), asm.Imm(h), asm.Imm(abi.DTF64),
+			asm.Reg(isa.R2), asm.Imm(wtTagLeftward), asm.Imm(abi.CommWorld))
+		f.Label(skip)
+	}
+	sendRight := func() {
+		skip := f.NewLabel()
+		f.LdSym(isa.R0, "g_rank", 0)
+		f.LdSym(isa.R3, "g_size", 0)
+		f.Addi(isa.R3, isa.R3, -1)
+		f.Cmp(isa.R0, isa.R3)
+		f.Beq(skip)
+		f.Addi(isa.R2, isa.R0, 1)
+		f.LdSym(isa.R1, "g_sbr", 0)
+		f.CallArgs("MPI_Send", asm.Reg(isa.R1), asm.Imm(h), asm.Imm(abi.DTF64),
+			asm.Reg(isa.R2), asm.Imm(wtTagRightward), asm.Imm(abi.CommWorld))
+		f.Label(skip)
+	}
+	recvLeft := func() { // from the left neighbour: its rightward block
+		skip := f.NewLabel()
+		f.LdSym(isa.R0, "g_rank", 0)
+		f.Cmpi(isa.R0, 0)
+		f.Beq(skip)
+		f.Addi(isa.R2, isa.R0, -1)
+		f.LdSym(isa.R1, "g_rbl", 0)
+		f.CallArgs("MPI_Recv", asm.Reg(isa.R1), asm.Imm(h), asm.Imm(abi.DTF64),
+			asm.Reg(isa.R2), asm.Imm(wtTagRightward), asm.Imm(abi.CommWorld), asm.Imm(0))
+		f.Label(skip)
+	}
+	recvRight := func() { // from the right neighbour: its leftward block
+		skip := f.NewLabel()
+		f.LdSym(isa.R0, "g_rank", 0)
+		f.LdSym(isa.R3, "g_size", 0)
+		f.Addi(isa.R3, isa.R3, -1)
+		f.Cmp(isa.R0, isa.R3)
+		f.Beq(skip)
+		f.Addi(isa.R2, isa.R0, 1)
+		f.LdSym(isa.R1, "g_rbr", 0)
+		f.CallArgs("MPI_Recv", asm.Reg(isa.R1), asm.Imm(h), asm.Imm(abi.DTF64),
+			asm.Reg(isa.R2), asm.Imm(wtTagLeftward), asm.Imm(abi.CommWorld), asm.Imm(0))
+		f.Label(skip)
+	}
+
+	odd, join := f.NewLabel(), f.NewLabel()
+	f.LdSym(isa.R4, "g_rank", 0)
+	f.Andi(isa.R4, isa.R4, 1)
+	f.Cmpi(isa.R4, 0)
+	f.Bne(odd)
+	sendLeft()
+	sendRight()
+	recvLeft()
+	recvRight()
+	f.Jmp(join)
+	f.Label(odd)
+	recvRight()
+	recvLeft()
+	sendRight()
+	sendLeft()
+	f.Label(join)
+
+	// Ghost cells: u[0] = rbl[h-1] (left neighbour's u[n]) or 0 at the
+	// physical boundary; u[n+1] = rbr[0] (right neighbour's u[1]) or 0.
+	zeroL, afterL := f.NewLabel(), f.NewLabel()
+	f.LdSym(isa.R1, "g_ucurr", 0)
+	f.LdSym(isa.R0, "g_rank", 0)
+	f.Cmpi(isa.R0, 0)
+	f.Beq(zeroL)
+	f.LdSym(isa.R2, "g_rbl", 0)
+	f.Fld(isa.R2, 8*(h-1))
+	f.Fstp(isa.R1, 0)
+	f.Jmp(afterL)
+	f.Label(zeroL)
+	f.Fldz()
+	f.Fstp(isa.R1, 0)
+	f.Label(afterL)
+
+	zeroR, afterR := f.NewLabel(), f.NewLabel()
+	f.LdSym(isa.R0, "g_rank", 0)
+	f.LdSym(isa.R3, "g_size", 0)
+	f.Addi(isa.R3, isa.R3, -1)
+	f.Cmp(isa.R0, isa.R3)
+	f.Beq(zeroR)
+	f.LdSym(isa.R2, "g_rbr", 0)
+	f.Fld(isa.R2, 0)
+	f.Fstp(isa.R1, 8*(n+1))
+	f.Jmp(afterR)
+	f.Label(zeroR)
+	f.Fldz()
+	f.Fstp(isa.R1, 8*(n+1))
+	f.Label(afterR)
+
+	f.Epilogue()
+}
+
+// buildWavetoyCompute emits wavetoy_compute: the leapfrog update
+// u_next = 2u - u_prev + c2dt * (u[i-1] - 2u[i] + u[i+1]) over the
+// interior.  The expression evaluation keeps at most four live FP stack
+// slots — the paper's observation about compiler-generated x87 code.
+//
+// With spill set, the kernel is emitted the way an unoptimizing compiler
+// would generate it: the array pointers and loop counter live in memory
+// and are reloaded at the top of every iteration, so the register file
+// carries live state only briefly — §6.1.1's "compiled without register
+// optimizations" robustness ablation.
+func buildWavetoyCompute(m *asm.Module, n int32, spill bool) {
+	if spill {
+		m.BSS("g_ci", 4) // spilled loop counter
+	}
+	f := m.Func("wavetoy_compute")
+	f.Prologue(64)
+	f.LdSym(isa.R1, "g_ucurr", 0)
+	f.LdSym(isa.R2, "g_uprev", 0)
+	f.LdSym(isa.R3, "g_unext", 0)
+	f.Movi(isa.R4, 8) // byte offset of u[1]
+	if spill {
+		f.StSym("g_ci", 0, isa.R4)
+	}
+	loop, done := f.NewLabel(), f.NewLabel()
+	f.Label(loop)
+	if spill {
+		f.LdSym(isa.R1, "g_ucurr", 0)
+		f.LdSym(isa.R2, "g_uprev", 0)
+		f.LdSym(isa.R3, "g_unext", 0)
+		f.LdSym(isa.R4, "g_ci", 0)
+	}
+	f.Cmpi(isa.R4, 8*(n+1))
+	f.Bge(done)
+	f.Fldx(isa.R1, isa.R4, 0) // [u]
+	f.FldConst(2.0)
+	f.Fmulp()                  // [2u]
+	f.Fldx(isa.R2, isa.R4, 0)  // [uprev, 2u]
+	f.Fsubp()                  // [2u-uprev]
+	f.Fldx(isa.R1, isa.R4, -8) // [um, X]
+	f.Fldx(isa.R1, isa.R4, 8)  // [up, um, X]
+	f.Faddp()                  // [um+up, X]
+	f.Fldx(isa.R1, isa.R4, 0)  // [u, s, X]
+	f.FldConst(2.0)
+	f.Fmulp() // [2u, s, X]
+	f.Fsubp() // [lap, X]
+	f.FldSym("c_c2dt", 0)
+	f.Fmulp() // [c*lap, X]
+	f.Faddp() // [X + c*lap]
+	f.Fstpx(isa.R3, isa.R4, 0)
+	f.Addi(isa.R4, isa.R4, 8)
+	if spill {
+		f.StSym("g_ci", 0, isa.R4)
+	}
+	f.Jmp(loop)
+	f.Label(done)
+	f.Epilogue()
+}

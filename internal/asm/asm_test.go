@@ -1,0 +1,355 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+func TestLinkBasicLayout(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	m.DataI32("d", 1, 2, 3)
+	m.BSS("z", 100)
+	f := m.Func("main")
+	f.Movi(isa.R0, 0)
+	f.Ret()
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := im.FindSymbol(im.Entry); !ok || s.Name != "_start" {
+		t.Fatalf("entry %#x does not resolve to _start", im.Entry)
+	}
+	if im.DataBase%image.PageAlign != 0 || im.BSSBase%image.PageAlign != 0 {
+		t.Fatal("segment bases must be page aligned")
+	}
+	d, ok := im.Lookup("d")
+	if !ok || d.Size != 12 || d.Kind != image.SymData {
+		t.Fatalf("data symbol: %+v ok=%v", d, ok)
+	}
+	z, ok := im.Lookup("z")
+	if !ok || z.Size != 100 || z.Kind != image.SymBSS {
+		t.Fatalf("bss symbol: %+v ok=%v", z, ok)
+	}
+}
+
+func TestStartShimPrecedesFunctions(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	f := m.Func("main")
+	f.Ret()
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// _start is synthesized but appended last in module order; it must
+	// still be a valid user-owned function symbol and im.Entry points at it.
+	s, ok := im.FindSymbol(im.Entry)
+	if !ok || s.Name != "_start" || s.Owner != image.OwnerUser {
+		t.Fatalf("entry symbol: %+v", s)
+	}
+	// The first instruction of _start must be CALL main.
+	in := isa.Decode(im.Text[im.Entry-image.TextBase:])
+	if in.Op != isa.OpCall {
+		t.Fatalf("_start starts with %v", in.Op)
+	}
+	main, _ := im.Lookup("main")
+	if uint32(in.Imm) != main.Addr {
+		t.Fatalf("_start calls %#x, main at %#x", uint32(in.Imm), main.Addr)
+	}
+}
+
+func TestUndefinedSymbolFailsLink(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	f := m.Func("main")
+	f.Call("missing")
+	f.Ret()
+	if _, err := b.Link(LinkConfig{}); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Fatalf("link err = %v", err)
+	}
+}
+
+func TestDuplicateSymbolFailsLink(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	m.Func("main").Ret()
+	m.Func("main").Ret()
+	if _, err := b.Link(LinkConfig{}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("link err = %v", err)
+	}
+}
+
+func TestUndefinedLabelFailsLink(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	f := m.Func("main")
+	l := f.NewLabel()
+	f.Jmp(l) // never placed
+	f.Ret()
+	if _, err := b.Link(LinkConfig{}); err == nil {
+		t.Fatal("undefined label must fail the link")
+	}
+}
+
+func TestMissingEntryFailsLink(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	m.Func("notmain").Ret()
+	if _, err := b.Link(LinkConfig{}); err == nil {
+		t.Fatal("missing main must fail the link")
+	}
+}
+
+func TestLabelResolution(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	f := m.Func("main")
+	skip := f.NewLabel()
+	f.Jmp(skip)       // instr 0
+	f.Movi(isa.R0, 1) // instr 1 (skipped)
+	f.Label(skip)
+	f.Ret() // instr 2
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, _ := im.Lookup("main")
+	in := isa.Decode(im.Text[main.Addr-image.TextBase:])
+	if in.Op != isa.OpJmp || uint32(in.Imm) != main.Addr+2*isa.InstrBytes {
+		t.Fatalf("jmp resolved to %#x, want %#x", uint32(in.Imm), main.Addr+2*isa.InstrBytes)
+	}
+}
+
+func TestSymbolOwnership(t *testing.T) {
+	b := NewBuilder()
+	u := b.Module("app", image.OwnerUser)
+	u.Func("main").Ret()
+	u.DataI32("udata", 7)
+	mp := b.Module("lib", image.OwnerMPI)
+	mp.Func("MPI_Something").Ret()
+	mp.BSS("mstate", 16)
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := im.Lookup("MPI_Something")
+	if s.Owner != image.OwnerMPI {
+		t.Fatal("library function must be MPI-owned")
+	}
+	s, _ = im.Lookup("mstate")
+	if s.Owner != image.OwnerMPI {
+		t.Fatal("library BSS must be MPI-owned")
+	}
+	s, _ = im.Lookup("udata")
+	if s.Owner != image.OwnerUser {
+		t.Fatal("app data must be user-owned")
+	}
+}
+
+func TestConstPoolInterning(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	f := m.Func("main")
+	f.FldConst(3.25)
+	f.FldConst(3.25) // same constant: must not duplicate
+	f.FldConst(1.5)
+	f.Ret()
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := 0
+	for _, s := range im.Symbols {
+		if strings.HasPrefix(s.Name, "__const_app_") {
+			pool++
+		}
+	}
+	if pool != 2 {
+		t.Fatalf("const pool holds %d entries, want 2", pool)
+	}
+	// Both FldConst(3.25) must reference the same address.
+	main, _ := im.Lookup("main")
+	in0 := isa.Decode(im.Text[main.Addr-image.TextBase:])
+	in1 := isa.Decode(im.Text[main.Addr+isa.InstrBytes-image.TextBase:])
+	if in0.Imm != in1.Imm {
+		t.Fatal("identical constants resolved to different pool slots")
+	}
+}
+
+func TestDataF64Encoding(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	m.DataF64("v", 1.0)
+	m.Func("main").Ret()
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := im.Lookup("v")
+	off := s.Addr - im.DataBase
+	// 1.0 = 0x3FF0000000000000 little-endian.
+	want := []byte{0, 0, 0, 0, 0, 0, 0xF0, 0x3F}
+	for i, wb := range want {
+		if im.Data[off+uint32(i)] != wb {
+			t.Fatalf("byte %d = %#x, want %#x", i, im.Data[off+uint32(i)], wb)
+		}
+	}
+}
+
+func TestF64DataAlignment(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	m.DataString("odd", "abc") // 3 bytes, misaligns the cursor
+	m.DataF64("v", 2.5)
+	m.Func("main").Ret()
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := im.Lookup("v")
+	if s.Addr%8 != 0 {
+		t.Fatalf("f64 data at %#x not 8-aligned", s.Addr)
+	}
+}
+
+func TestLinkConfigDefaults(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	m.Func("main").Ret()
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.HeapLimit-im.HeapBase != 8<<20 {
+		t.Fatalf("default heap = %d", im.HeapLimit-im.HeapBase)
+	}
+	if im.StackSize != 256<<10 {
+		t.Fatalf("default stack = %d", im.StackSize)
+	}
+}
+
+func TestAlternateEntry(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	m.Func("start_here").Ret()
+	im, err := b.Link(LinkConfig{Entry: "start_here"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := isa.Decode(im.Text[im.Entry-image.TextBase:])
+	sh, _ := im.Lookup("start_here")
+	if uint32(in.Imm) != sh.Addr {
+		t.Fatal("_start does not call the configured entry")
+	}
+}
+
+func TestFunctionSizesCoverText(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	f := m.Func("main")
+	for i := 0; i < 10; i++ {
+		f.Nop()
+	}
+	f.Ret()
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var covered uint32
+	for _, s := range im.Symbols {
+		if s.Kind == image.SymFunc {
+			covered += s.Size
+		}
+	}
+	if covered != uint32(len(im.Text)) {
+		t.Fatalf("function symbols cover %d of %d text bytes", covered, len(im.Text))
+	}
+}
+
+func TestLabelPlacedTwiceFails(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	f := m.Func("main")
+	l := f.NewLabel()
+	f.Label(l)
+	f.Nop()
+	f.Label(l)
+	f.Ret()
+	if _, err := b.Link(LinkConfig{}); err == nil {
+		t.Fatal("duplicate label placement must fail the link")
+	}
+}
+
+func TestDataStringBytes(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	m.DataString("s", "hi\n")
+	m.Func("main").Ret()
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := im.Lookup("s")
+	got := string(im.Data[s.Addr-im.DataBase : s.Addr-im.DataBase+3])
+	if got != "hi\n" {
+		t.Fatalf("string data = %q", got)
+	}
+}
+
+func TestSymbolRefWithOffset(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	m.DataI32("arr", 1, 2, 3, 4)
+	f := m.Func("main")
+	f.MoviSym(isa.R0, "arr", 8) // &arr[2]
+	f.Ret()
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, _ := im.Lookup("main")
+	arr, _ := im.Lookup("arr")
+	in := isa.Decode(im.Text[main.Addr-image.TextBase:])
+	if uint32(in.Imm) != arr.Addr+8 {
+		t.Fatalf("sym+off resolved to %#x, want %#x", uint32(in.Imm), arr.Addr+8)
+	}
+}
+
+func TestCallArgsStackDiscipline(t *testing.T) {
+	// CallArgs must emit exactly: pushes (right to left), call, sp fixup.
+	b := NewBuilder()
+	m := b.Module("app", image.OwnerUser)
+	m.Func("callee").Ret()
+	f := m.Func("main")
+	f.CallArgs("callee", Imm(10), Reg(isa.R2), Sym("callee"))
+	f.Ret()
+	im, err := b.Link(LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, _ := im.Lookup("main")
+	var ops []isa.Op
+	for off := uint32(0); off < main.Size; off += isa.InstrBytes {
+		ops = append(ops, isa.Decode(im.Text[main.Addr-image.TextBase+off:]).Op)
+	}
+	// movi r5,sym; push r5; push r2; movi r5,10; push r5; call; addi; ret
+	want := []isa.Op{isa.OpMovi, isa.OpPush, isa.OpPush, isa.OpMovi,
+		isa.OpPush, isa.OpCall, isa.OpAddi, isa.OpRet}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op[%d] = %v, want %v (%v)", i, ops[i], want[i], ops)
+		}
+	}
+}

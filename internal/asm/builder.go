@@ -1,0 +1,299 @@
+// Package asm implements a programmatic assembler and linker for the
+// simulated machine defined in internal/isa.
+//
+// Guest programs — the three MPI workloads and the guest-side runtime
+// libraries — are authored in Go through this package's builder DSL and
+// linked into an image.Image.  The assembler keeps a full symbol table and
+// records, for every symbol, whether it belongs to the user application or
+// the MPI library.  That attribution is what lets the fault injector build
+// the paper's "fault dictionary": a list of {symbolic name, address} pairs
+// from which MPI-library addresses have been removed (§3.2).
+package asm
+
+import (
+	"fmt"
+	"math"
+
+	"mpifault/internal/abi"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// Builder accumulates modules and links them into an image.
+type Builder struct {
+	modules []*Module
+	errs    []error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// Module creates a new module.  Owner determines the symbol attribution
+// used by the fault dictionary: OwnerMPI modules are excluded from
+// user-targeted injections.
+func (b *Builder) Module(name string, owner image.Owner) *Module {
+	m := &Module{
+		b:      b,
+		name:   name,
+		owner:  owner,
+		consts: make(map[uint64]string),
+	}
+	b.modules = append(b.modules, m)
+	return m
+}
+
+func (b *Builder) errorf(format string, args ...interface{}) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Module is a named collection of functions and data with a single owner.
+type Module struct {
+	b      *Builder
+	name   string
+	owner  image.Owner
+	funcs  []*Func
+	datas  []*dataSym
+	bsses  []*bssSym
+	consts map[uint64]string // f64 bits -> pool symbol name
+}
+
+type dataSym struct {
+	name  string
+	bytes []byte
+	align uint32
+}
+
+type bssSym struct {
+	name  string
+	size  uint32
+	align uint32
+}
+
+// Func starts a new function in the module.
+func (m *Module) Func(name string) *Func {
+	f := &Func{
+		mod:    m,
+		name:   name,
+		labels: make(map[Label]int),
+	}
+	m.funcs = append(m.funcs, f)
+	return f
+}
+
+// Data defines an initialized data symbol with the given raw bytes.
+func (m *Module) Data(name string, bytes []byte) {
+	m.datas = append(m.datas, &dataSym{name: name, bytes: append([]byte(nil), bytes...), align: 4})
+}
+
+// DataI32 defines an initialized data symbol holding 32-bit integers.
+func (m *Module) DataI32(name string, vals ...int32) {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		putU32(b[4*i:], uint32(v))
+	}
+	m.datas = append(m.datas, &dataSym{name: name, bytes: b, align: 4})
+}
+
+// DataF64 defines an initialized data symbol holding float64 values.
+func (m *Module) DataF64(name string, vals ...float64) {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		putU64(b[8*i:], math.Float64bits(v))
+	}
+	m.datas = append(m.datas, &dataSym{name: name, bytes: b, align: 8})
+}
+
+// DataString defines an initialized data symbol holding the bytes of s.
+func (m *Module) DataString(name, s string) {
+	m.datas = append(m.datas, &dataSym{name: name, bytes: []byte(s), align: 1})
+}
+
+// BSS defines a zero-initialized symbol of the given size in bytes.
+func (m *Module) BSS(name string, size uint32) {
+	m.bsses = append(m.bsses, &bssSym{name: name, size: size, align: 8})
+}
+
+// constF64 interns a float64 constant in the module's pool and returns the
+// pool symbol's name.
+func (m *Module) constF64(v float64) string {
+	bits := math.Float64bits(v)
+	if name, ok := m.consts[bits]; ok {
+		return name
+	}
+	name := fmt.Sprintf("__const_%s_%d", m.name, len(m.consts))
+	m.consts[bits] = name
+	m.DataF64(name, v)
+	return name
+}
+
+// LinkConfig controls address-space sizing at link time.
+type LinkConfig struct {
+	// HeapSize bounds the heap segment; defaults to 8 MiB.
+	HeapSize uint32
+	// StackSize sizes the stack segment; defaults to 256 KiB.
+	StackSize uint32
+	// Entry names the function _start calls; defaults to "main".
+	Entry string
+}
+
+func (c *LinkConfig) fill() {
+	if c.HeapSize == 0 {
+		c.HeapSize = 8 << 20
+	}
+	if c.StackSize == 0 {
+		c.StackSize = 256 << 10
+	}
+	if c.Entry == "" {
+		c.Entry = "main"
+	}
+}
+
+// Link lays out all modules and resolves every reference, producing a
+// runnable image.
+func (b *Builder) Link(cfg LinkConfig) (*image.Image, error) {
+	cfg.fill()
+
+	// Synthesize the startup shim.  It is owned by the user application,
+	// as crt0 would be in a statically linked binary.
+	crt := b.Module("crt0", image.OwnerUser)
+	start := crt.Func("_start")
+	start.Call(cfg.Entry)
+	start.Sys(abi.SysExit) // exit code: main's return value, already in r0
+	// Safety net: falling through _start is impossible (SysExit never
+	// returns), but keep the segment from ending exactly at the last
+	// instruction so that a wild PC one instruction past the end still
+	// fetches from mapped text and raises SIGILL rather than SIGSEGV.
+	start.raw(isa.Instr{Op: isa.OpInvalid})
+
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+
+	// Pass 1: assign text addresses.
+	syms := make(map[string]*image.Symbol)
+	addSym := func(s image.Symbol) {
+		if _, dup := syms[s.Name]; dup {
+			b.errorf("asm: duplicate symbol %q", s.Name)
+			return
+		}
+		c := s
+		syms[s.Name] = &c
+	}
+
+	textAddr := image.TextBase
+	for _, m := range b.modules {
+		for _, f := range m.funcs {
+			size := uint32(len(f.code)) * isa.InstrBytes
+			addSym(image.Symbol{
+				Name: f.name, Module: m.name, Kind: image.SymFunc,
+				Owner: m.owner, Addr: textAddr, Size: size,
+			})
+			f.addr = textAddr
+			textAddr += size
+		}
+	}
+	textSize := textAddr - image.TextBase
+
+	// Pass 2: assign data and BSS addresses.
+	dataBase := alignUp(image.TextBase+textSize, image.PageAlign)
+	dataAddr := dataBase
+	for _, m := range b.modules {
+		for _, d := range m.datas {
+			dataAddr = alignUp(dataAddr, d.align)
+			addSym(image.Symbol{
+				Name: d.name, Module: m.name, Kind: image.SymData,
+				Owner: m.owner, Addr: dataAddr, Size: uint32(len(d.bytes)),
+			})
+			dataAddr += uint32(len(d.bytes))
+		}
+	}
+	dataSize := dataAddr - dataBase
+
+	bssBase := alignUp(dataAddr, image.PageAlign)
+	bssAddr := bssBase
+	for _, m := range b.modules {
+		for _, s := range m.bsses {
+			bssAddr = alignUp(bssAddr, s.align)
+			addSym(image.Symbol{
+				Name: s.name, Module: m.name, Kind: image.SymBSS,
+				Owner: m.owner, Addr: bssAddr, Size: s.size,
+			})
+			bssAddr += s.size
+		}
+	}
+	bssSize := bssAddr - bssBase
+
+	heapBase := alignUp(bssAddr, image.PageAlign)
+
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+
+	// Pass 3: emit text with all references patched.
+	text := make([]byte, textSize)
+	for _, m := range b.modules {
+		for _, f := range m.funcs {
+			if err := f.emit(text, syms); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pass 4: emit data.
+	data := make([]byte, dataSize)
+	for _, m := range b.modules {
+		for _, d := range m.datas {
+			s := syms[d.name]
+			copy(data[s.Addr-dataBase:], d.bytes)
+		}
+	}
+
+	entry, ok := syms["_start"]
+	if !ok {
+		return nil, fmt.Errorf("asm: missing _start")
+	}
+	if _, ok := syms[cfg.Entry]; !ok {
+		return nil, fmt.Errorf("asm: entry function %q not defined", cfg.Entry)
+	}
+
+	im := &image.Image{
+		Text:      text,
+		Data:      data,
+		BSSSize:   bssSize,
+		DataBase:  dataBase,
+		BSSBase:   bssBase,
+		HeapBase:  heapBase,
+		HeapLimit: heapBase + cfg.HeapSize,
+		StackSize: cfg.StackSize,
+		Entry:     entry.Addr,
+	}
+	for _, s := range syms {
+		im.Symbols = append(im.Symbols, *s)
+	}
+	im.SortSymbols()
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+func alignUp(v, a uint32) uint32 {
+	if a <= 1 {
+		return v
+	}
+	return (v + a - 1) &^ (a - 1)
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}

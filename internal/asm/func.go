@@ -1,0 +1,459 @@
+package asm
+
+import (
+	"fmt"
+
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// Label identifies a branch target within one function.
+type Label int
+
+// refKind says how an emitted instruction's immediate gets patched.
+type refKind uint8
+
+const (
+	refNone  refKind = iota
+	refSym           // immediate = symbol address + offset
+	refLabel         // immediate = address of a label in this function
+)
+
+type emitted struct {
+	in    isa.Instr
+	kind  refKind
+	sym   string
+	off   int32
+	label Label
+}
+
+// Func builds one function's instruction stream.
+//
+// Calling convention (x86-32 flavoured, so that the injector's stack walk
+// works exactly as in §3.2 of the paper):
+//
+//	caller: push args right-to-left; CALL; add sp, 4*nargs
+//	callee: push fp; mov fp, sp; sub sp, locals
+//	frame:  [fp] = saved caller fp, [fp+4] = return address,
+//	        [fp+8+4i] = argument i, [fp-off] = locals
+//	return: value in r0; r0-r5 are caller-saved, fp/sp preserved.
+type Func struct {
+	mod    *Module
+	name   string
+	code   []emitted
+	labels map[Label]int // label -> instruction index
+	nlabel int
+	addr   uint32
+}
+
+// Name returns the function's symbol name.
+func (f *Func) Name() string { return f.name }
+
+func (f *Func) raw(in isa.Instr) {
+	f.code = append(f.code, emitted{in: in})
+}
+
+func (f *Func) withSym(in isa.Instr, sym string, off int32) {
+	f.code = append(f.code, emitted{in: in, kind: refSym, sym: sym, off: off})
+}
+
+func (f *Func) withLabel(in isa.Instr, l Label) {
+	f.code = append(f.code, emitted{in: in, kind: refLabel, label: l})
+}
+
+// NewLabel allocates a fresh, not-yet-placed label.
+func (f *Func) NewLabel() Label {
+	f.nlabel++
+	return Label(f.nlabel)
+}
+
+// Label places l at the next instruction.
+func (f *Func) Label(l Label) {
+	if _, dup := f.labels[l]; dup {
+		f.mod.b.errorf("asm: %s: label %d placed twice", f.name, l)
+		return
+	}
+	f.labels[l] = len(f.code)
+}
+
+func reg(r int) uint8 {
+	return uint8(r)
+}
+
+// --- data movement ---
+
+// Movi sets rd = imm.
+func (f *Func) Movi(rd int, imm int32) { f.raw(isa.Instr{Op: isa.OpMovi, Rd: reg(rd), Imm: imm}) }
+
+// MoviSym sets rd = address of sym + off.
+func (f *Func) MoviSym(rd int, sym string, off int32) {
+	f.withSym(isa.Instr{Op: isa.OpMovi, Rd: reg(rd)}, sym, off)
+}
+
+// Movr sets rd = ra.
+func (f *Func) Movr(rd, ra int) { f.raw(isa.Instr{Op: isa.OpMovr, Rd: reg(rd), Ra: reg(ra)}) }
+
+// --- integer ALU ---
+
+func (f *Func) alu3(op isa.Op, rd, ra, rb int) {
+	f.raw(isa.Instr{Op: op, Rd: reg(rd), Ra: reg(ra), Rb: reg(rb)})
+}
+
+func (f *Func) aluI(op isa.Op, rd, ra int, imm int32) {
+	f.raw(isa.Instr{Op: op, Rd: reg(rd), Ra: reg(ra), Imm: imm})
+}
+
+// Add sets rd = ra + rb.
+func (f *Func) Add(rd, ra, rb int) { f.alu3(isa.OpAdd, rd, ra, rb) }
+
+// Sub sets rd = ra - rb.
+func (f *Func) Sub(rd, ra, rb int) { f.alu3(isa.OpSub, rd, ra, rb) }
+
+// Mul sets rd = ra * rb.
+func (f *Func) Mul(rd, ra, rb int) { f.alu3(isa.OpMul, rd, ra, rb) }
+
+// Divs sets rd = ra / rb (signed; rb == 0 traps with SIGFPE).
+func (f *Func) Divs(rd, ra, rb int) { f.alu3(isa.OpDivs, rd, ra, rb) }
+
+// Rems sets rd = ra % rb (signed; rb == 0 traps with SIGFPE).
+func (f *Func) Rems(rd, ra, rb int) { f.alu3(isa.OpRems, rd, ra, rb) }
+
+// And sets rd = ra & rb.
+func (f *Func) And(rd, ra, rb int) { f.alu3(isa.OpAnd, rd, ra, rb) }
+
+// Or sets rd = ra | rb.
+func (f *Func) Or(rd, ra, rb int) { f.alu3(isa.OpOr, rd, ra, rb) }
+
+// Xor sets rd = ra ^ rb.
+func (f *Func) Xor(rd, ra, rb int) { f.alu3(isa.OpXor, rd, ra, rb) }
+
+// Shl sets rd = ra << (rb mod 32).
+func (f *Func) Shl(rd, ra, rb int) { f.alu3(isa.OpShl, rd, ra, rb) }
+
+// Shr sets rd = ra >> (rb mod 32), logical.
+func (f *Func) Shr(rd, ra, rb int) { f.alu3(isa.OpShr, rd, ra, rb) }
+
+// Sar sets rd = ra >> (rb mod 32), arithmetic.
+func (f *Func) Sar(rd, ra, rb int) { f.alu3(isa.OpSar, rd, ra, rb) }
+
+// Neg sets rd = -ra.
+func (f *Func) Neg(rd, ra int) { f.raw(isa.Instr{Op: isa.OpNeg, Rd: reg(rd), Ra: reg(ra)}) }
+
+// Addi sets rd = ra + imm.
+func (f *Func) Addi(rd, ra int, imm int32) { f.aluI(isa.OpAddi, rd, ra, imm) }
+
+// Muli sets rd = ra * imm.
+func (f *Func) Muli(rd, ra int, imm int32) { f.aluI(isa.OpMuli, rd, ra, imm) }
+
+// Andi sets rd = ra & imm.
+func (f *Func) Andi(rd, ra int, imm int32) { f.aluI(isa.OpAndi, rd, ra, imm) }
+
+// Ori sets rd = ra | imm.
+func (f *Func) Ori(rd, ra int, imm int32) { f.aluI(isa.OpOri, rd, ra, imm) }
+
+// Xori sets rd = ra ^ imm.
+func (f *Func) Xori(rd, ra int, imm int32) { f.aluI(isa.OpXori, rd, ra, imm) }
+
+// Shli sets rd = ra << imm.
+func (f *Func) Shli(rd, ra int, imm int32) { f.aluI(isa.OpShli, rd, ra, imm) }
+
+// Shri sets rd = ra >> imm, logical.
+func (f *Func) Shri(rd, ra int, imm int32) { f.aluI(isa.OpShri, rd, ra, imm) }
+
+// Sari sets rd = ra >> imm, arithmetic.
+func (f *Func) Sari(rd, ra int, imm int32) { f.aluI(isa.OpSari, rd, ra, imm) }
+
+// --- comparison and branches ---
+
+// Cmp sets the flags from ra - rb.
+func (f *Func) Cmp(ra, rb int) { f.raw(isa.Instr{Op: isa.OpCmp, Ra: reg(ra), Rb: reg(rb)}) }
+
+// Cmpi sets the flags from ra - imm.
+func (f *Func) Cmpi(ra int, imm int32) { f.raw(isa.Instr{Op: isa.OpCmpi, Ra: reg(ra), Imm: imm}) }
+
+func (f *Func) branch(op isa.Op, l Label) { f.withLabel(isa.Instr{Op: op}, l) }
+
+// Jmp jumps unconditionally to l.
+func (f *Func) Jmp(l Label) { f.branch(isa.OpJmp, l) }
+
+// Beq branches to l if the zero flag is set.
+func (f *Func) Beq(l Label) { f.branch(isa.OpBeq, l) }
+
+// Bne branches to l if the zero flag is clear.
+func (f *Func) Bne(l Label) { f.branch(isa.OpBne, l) }
+
+// Blt branches to l on signed less-than.
+func (f *Func) Blt(l Label) { f.branch(isa.OpBlt, l) }
+
+// Bge branches to l on signed greater-or-equal.
+func (f *Func) Bge(l Label) { f.branch(isa.OpBge, l) }
+
+// Ble branches to l on signed less-or-equal.
+func (f *Func) Ble(l Label) { f.branch(isa.OpBle, l) }
+
+// Bgt branches to l on signed greater-than.
+func (f *Func) Bgt(l Label) { f.branch(isa.OpBgt, l) }
+
+// Bltu branches to l on unsigned less-than.
+func (f *Func) Bltu(l Label) { f.branch(isa.OpBltu, l) }
+
+// Bgeu branches to l on unsigned greater-or-equal.
+func (f *Func) Bgeu(l Label) { f.branch(isa.OpBgeu, l) }
+
+// Bun branches to l if the last FP comparison was unordered (NaN).
+func (f *Func) Bun(l Label) { f.branch(isa.OpBun, l) }
+
+// Call calls the function with the given symbol name.
+func (f *Func) Call(sym string) { f.withSym(isa.Instr{Op: isa.OpCall}, sym, 0) }
+
+// Callr calls through the address in ra.
+func (f *Func) Callr(ra int) { f.raw(isa.Instr{Op: isa.OpCallr, Ra: reg(ra)}) }
+
+// Ret returns to the caller.
+func (f *Func) Ret() { f.raw(isa.Instr{Op: isa.OpRet}) }
+
+// Push pushes ra.
+func (f *Func) Push(ra int) { f.raw(isa.Instr{Op: isa.OpPush, Ra: reg(ra)}) }
+
+// Pop pops into rd.
+func (f *Func) Pop(rd int) { f.raw(isa.Instr{Op: isa.OpPop, Rd: reg(rd)}) }
+
+// --- memory ---
+
+func memInstr(op isa.Op, rd, base, idx int, imm int32) isa.Instr {
+	b := uint8(isa.RegNone)
+	if idx >= 0 {
+		b = reg(idx)
+	}
+	a := uint8(isa.RegNone)
+	if base >= 0 {
+		a = reg(base)
+	}
+	return isa.Instr{Op: op, Rd: reg(rd), Ra: a, Rb: b, Imm: imm}
+}
+
+// Ld loads a 32-bit word: rd = [base + imm].
+func (f *Func) Ld(rd, base int, imm int32) { f.raw(memInstr(isa.OpLd, rd, base, -1, imm)) }
+
+// Ldx loads a 32-bit word: rd = [base + idx + imm].
+func (f *Func) Ldx(rd, base, idx int, imm int32) { f.raw(memInstr(isa.OpLd, rd, base, idx, imm)) }
+
+// LdSym loads a 32-bit word from sym + off.
+func (f *Func) LdSym(rd int, sym string, off int32) {
+	f.withSym(memInstr(isa.OpLd, rd, -1, -1, 0), sym, off)
+}
+
+// St stores a 32-bit word: [base + imm] = src.
+func (f *Func) St(base int, imm int32, src int) {
+	in := memInstr(isa.OpSt, 0, base, -1, imm)
+	in.SetRc(reg(src))
+	f.raw(in)
+}
+
+// Stx stores a 32-bit word: [base + idx + imm] = src.
+func (f *Func) Stx(base, idx int, imm int32, src int) {
+	in := memInstr(isa.OpSt, 0, base, idx, imm)
+	in.SetRc(reg(src))
+	f.raw(in)
+}
+
+// StSym stores a 32-bit word to sym + off.
+func (f *Func) StSym(sym string, off int32, src int) {
+	in := memInstr(isa.OpSt, 0, -1, -1, 0)
+	in.SetRc(reg(src))
+	f.withSym(in, sym, off)
+}
+
+// Ldb loads a zero-extended byte: rd = [base + idx + imm].
+func (f *Func) Ldb(rd, base, idx int, imm int32) { f.raw(memInstr(isa.OpLdb, rd, base, idx, imm)) }
+
+// Stb stores the low byte of src to [base + idx + imm].
+func (f *Func) Stb(base, idx int, imm int32, src int) {
+	in := memInstr(isa.OpStb, 0, base, idx, imm)
+	in.SetRc(reg(src))
+	f.raw(in)
+}
+
+// --- floating point (x87-style stack) ---
+
+// Fld pushes the float64 at [base + imm].
+func (f *Func) Fld(base int, imm int32) { f.raw(memInstr(isa.OpFld, 0, base, -1, imm)) }
+
+// Fldx pushes the float64 at [base + idx + imm].
+func (f *Func) Fldx(base, idx int, imm int32) { f.raw(memInstr(isa.OpFld, 0, base, idx, imm)) }
+
+// FldSym pushes the float64 at sym + off.
+func (f *Func) FldSym(sym string, off int32) {
+	f.withSym(memInstr(isa.OpFld, 0, -1, -1, 0), sym, off)
+}
+
+// FldConst pushes a float64 constant (interned in the module's pool).
+func (f *Func) FldConst(v float64) { f.FldSym(f.mod.constF64(v), 0) }
+
+// Fldz pushes +0.0.
+func (f *Func) Fldz() { f.raw(isa.Instr{Op: isa.OpFldz}) }
+
+// Fld1 pushes 1.0.
+func (f *Func) Fld1() { f.raw(isa.Instr{Op: isa.OpFld1}) }
+
+// Fldst pushes a copy of st(i).
+func (f *Func) Fldst(i int32) { f.raw(isa.Instr{Op: isa.OpFldst, Imm: i}) }
+
+// Fst stores st0 to [base + imm] without popping.
+func (f *Func) Fst(base int, imm int32) { f.raw(memInstr(isa.OpFst, 0, base, -1, imm)) }
+
+// Fstp stores st0 to [base + imm] and pops.
+func (f *Func) Fstp(base int, imm int32) { f.raw(memInstr(isa.OpFstp, 0, base, -1, imm)) }
+
+// Fstpx stores st0 to [base + idx + imm] and pops.
+func (f *Func) Fstpx(base, idx int, imm int32) { f.raw(memInstr(isa.OpFstp, 0, base, idx, imm)) }
+
+// FstpSym stores st0 to sym + off and pops.
+func (f *Func) FstpSym(sym string, off int32) {
+	f.withSym(memInstr(isa.OpFstp, 0, -1, -1, 0), sym, off)
+}
+
+// Faddp computes st1 += st0 and pops.
+func (f *Func) Faddp() { f.raw(isa.Instr{Op: isa.OpFaddp}) }
+
+// Fsubp computes st1 -= st0 and pops.
+func (f *Func) Fsubp() { f.raw(isa.Instr{Op: isa.OpFsubp}) }
+
+// Fmulp computes st1 *= st0 and pops.
+func (f *Func) Fmulp() { f.raw(isa.Instr{Op: isa.OpFmulp}) }
+
+// Fdivp computes st1 /= st0 and pops.
+func (f *Func) Fdivp() { f.raw(isa.Instr{Op: isa.OpFdivp}) }
+
+// Fchs negates st0.
+func (f *Func) Fchs() { f.raw(isa.Instr{Op: isa.OpFchs}) }
+
+// Fabs replaces st0 with its absolute value.
+func (f *Func) Fabs() { f.raw(isa.Instr{Op: isa.OpFabs}) }
+
+// Fsqrt replaces st0 with its square root.
+func (f *Func) Fsqrt() { f.raw(isa.Instr{Op: isa.OpFsqrt}) }
+
+// Fxch exchanges st0 with st(i).
+func (f *Func) Fxch(i int32) { f.raw(isa.Instr{Op: isa.OpFxch, Imm: i}) }
+
+// Fcomp compares st0 with st1, sets the flags and pops both.
+func (f *Func) Fcomp() { f.raw(isa.Instr{Op: isa.OpFcomp}) }
+
+// Fxam sets FlagZ if st0 is NaN or infinite (and FlagUN if NaN).
+func (f *Func) Fxam() { f.raw(isa.Instr{Op: isa.OpFxam}) }
+
+// Fild pushes float64(int32(ra)).
+func (f *Func) Fild(ra int) { f.raw(isa.Instr{Op: isa.OpFild, Ra: reg(ra)}) }
+
+// Fist truncates st0 to int32 in rd and pops.
+func (f *Func) Fist(rd int) { f.raw(isa.Instr{Op: isa.OpFist, Rd: reg(rd)}) }
+
+// Sys issues system call num (see package abi for the convention).
+func (f *Func) Sys(num int32) { f.raw(isa.Instr{Op: isa.OpSys, Imm: num}) }
+
+// Nop emits a no-op.
+func (f *Func) Nop() { f.raw(isa.Instr{Op: isa.OpNop}) }
+
+// --- macros ---
+
+// Prologue emits the standard frame setup, reserving localBytes of locals.
+func (f *Func) Prologue(localBytes int32) {
+	f.Push(isa.FP)
+	f.Movr(isa.FP, isa.SP)
+	if localBytes > 0 {
+		f.Addi(isa.SP, isa.SP, -localBytes)
+	}
+}
+
+// Epilogue tears down the frame and returns.
+func (f *Func) Epilogue() {
+	f.Movr(isa.SP, isa.FP)
+	f.Pop(isa.FP)
+	f.Ret()
+}
+
+// LdArg loads argument i (0-based) into rd.
+func (f *Func) LdArg(rd, i int) { f.Ld(rd, isa.FP, 8+4*int32(i)) }
+
+// LdLocal loads the 32-bit local at [fp-off] into rd.
+func (f *Func) LdLocal(rd int, off int32) { f.Ld(rd, isa.FP, -off) }
+
+// StLocal stores src to the 32-bit local at [fp-off].
+func (f *Func) StLocal(off int32, src int) { f.St(isa.FP, -off, src) }
+
+// FldLocal pushes the float64 local at [fp-off].
+func (f *Func) FldLocal(off int32) { f.Fld(isa.FP, -off) }
+
+// FstpLocal pops st0 into the float64 local at [fp-off].
+func (f *Func) FstpLocal(off int32) { f.Fstp(isa.FP, -off) }
+
+// FstLocal stores st0 into the float64 local at [fp-off] without popping.
+func (f *Func) FstLocal(off int32) { f.Fst(isa.FP, -off) }
+
+// Arg is a call-site argument for CallArgs.
+type Arg struct {
+	kind uint8 // 0 reg, 1 imm, 2 sym
+	reg  int
+	imm  int32
+	sym  string
+	off  int32
+}
+
+// Reg passes the value of register r.
+func Reg(r int) Arg { return Arg{kind: 0, reg: r} }
+
+// Imm passes the constant v.
+func Imm(v int32) Arg { return Arg{kind: 1, imm: v} }
+
+// Sym passes the address of sym.
+func Sym(sym string) Arg { return Arg{kind: 2, sym: sym} }
+
+// SymOff passes the address of sym + off.
+func SymOff(sym string, off int32) Arg { return Arg{kind: 2, sym: sym, off: off} }
+
+// CallArgs pushes args right-to-left, calls sym and pops the arguments.
+// Immediate and symbol arguments are staged through r5, which is clobbered.
+func (f *Func) CallArgs(sym string, args ...Arg) {
+	for i := len(args) - 1; i >= 0; i-- {
+		a := args[i]
+		switch a.kind {
+		case 0:
+			f.Push(a.reg)
+		case 1:
+			f.Movi(isa.R5, a.imm)
+			f.Push(isa.R5)
+		case 2:
+			f.MoviSym(isa.R5, a.sym, a.off)
+			f.Push(isa.R5)
+		}
+	}
+	f.Call(sym)
+	if n := int32(len(args)); n > 0 {
+		f.Addi(isa.SP, isa.SP, 4*n)
+	}
+}
+
+// emit patches references and writes the function's code into text.
+func (f *Func) emit(text []byte, syms map[string]*image.Symbol) error {
+	for i, e := range f.code {
+		in := e.in
+		switch e.kind {
+		case refSym:
+			s, ok := syms[e.sym]
+			if !ok {
+				return fmt.Errorf("asm: %s: undefined symbol %q", f.name, e.sym)
+			}
+			in.Imm = int32(s.Addr) + e.off
+		case refLabel:
+			idx, ok := f.labels[e.label]
+			if !ok {
+				return fmt.Errorf("asm: %s: undefined label %d", f.name, e.label)
+			}
+			in.Imm = int32(f.addr + uint32(idx)*isa.InstrBytes)
+		}
+		off := f.addr - image.TextBase + uint32(i)*isa.InstrBytes
+		in.Encode(text[off : off+isa.InstrBytes])
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package classify
+
+import (
+	"testing"
+
+	"mpifault/internal/cluster"
+	"mpifault/internal/vm"
+)
+
+func okRank() cluster.RankResult {
+	return cluster.RankResult{Trap: &vm.Trap{Kind: vm.TrapExit, Code: 0}}
+}
+
+func resultWith(ranks ...cluster.RankResult) *cluster.Result {
+	return &cluster.Result{
+		Ranks:  ranks,
+		Stdout: [][]byte{[]byte("out")},
+		Files:  map[string][]byte{},
+	}
+}
+
+func TestCorrectRun(t *testing.T) {
+	res := resultWith(okRank(), okRank())
+	golden := res.CanonicalOutput()
+	if got := Classify(res, golden); got != Correct {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCrashFromSignal(t *testing.T) {
+	for _, k := range []vm.TrapKind{vm.TrapSegv, vm.TrapIll, vm.TrapFpe, vm.TrapMPIFatal} {
+		res := resultWith(okRank(),
+			cluster.RankResult{Trap: &vm.Trap{Kind: k}})
+		if got := Classify(res, nil); got != Crash {
+			t.Fatalf("%v classified as %v", k, got)
+		}
+	}
+}
+
+func TestAppDetectedBeatsCrash(t *testing.T) {
+	// One rank aborted deliberately while another died of the cascade;
+	// the deliberate detection wins (§5.1 measurement procedure).
+	res := resultWith(
+		cluster.RankResult{Trap: &vm.Trap{Kind: vm.TrapSegv}},
+		cluster.RankResult{Trap: &vm.Trap{Kind: vm.TrapAbort}},
+	)
+	if got := Classify(res, nil); got != AppDetected {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMPIDetected(t *testing.T) {
+	res := resultWith(okRank(),
+		cluster.RankResult{Trap: &vm.Trap{Kind: vm.TrapMPIHandler}})
+	if got := Classify(res, nil); got != MPIDetected {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestHang(t *testing.T) {
+	res := resultWith(okRank(),
+		cluster.RankResult{Trap: &vm.Trap{Kind: vm.TrapKilled}})
+	res.HangDetected = true
+	if got := Classify(res, nil); got != Hang {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCrashBeatsHang(t *testing.T) {
+	res := resultWith(
+		cluster.RankResult{Trap: &vm.Trap{Kind: vm.TrapSegv}},
+		cluster.RankResult{Trap: &vm.Trap{Kind: vm.TrapKilled}},
+	)
+	res.HangDetected = true
+	if got := Classify(res, nil); got != Crash {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIncorrectOutput(t *testing.T) {
+	res := resultWith(okRank())
+	if got := Classify(res, []byte("different")); got != Incorrect {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNonzeroExitIsIncorrect(t *testing.T) {
+	res := resultWith(cluster.RankResult{Trap: &vm.Trap{Kind: vm.TrapExit, Code: 3}})
+	if got := Classify(res, res.CanonicalOutput()); got != Incorrect {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestKilledWithoutVerdictIsIncorrect(t *testing.T) {
+	// A rank that vanished (killed) with no hang flag and no failing trap
+	// elsewhere: the user sees a failed job without diagnostics.
+	res := resultWith(okRank(),
+		cluster.RankResult{Trap: &vm.Trap{Kind: vm.TrapKilled}})
+	if got := Classify(res, res.CanonicalOutput()); got != Incorrect {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOutcomeStringsAndErrorFlag(t *testing.T) {
+	names := map[Outcome]string{
+		Correct: "Correct", Crash: "Crash", Hang: "Hang",
+		Incorrect: "Incorrect", AppDetected: "App Detected",
+		MPIDetected: "MPI Detected",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q", o, o.String())
+		}
+		if o.IsError() != (o != Correct) {
+			t.Errorf("%v IsError = %v", o, o.IsError())
+		}
+	}
+}
+
+func TestFileOutputDifferenceDetected(t *testing.T) {
+	a := resultWith(okRank())
+	a.Files["wavetoy.out"] = []byte("1.0\n2.0\n")
+	golden := a.CanonicalOutput()
+	b := resultWith(okRank())
+	b.Files["wavetoy.out"] = []byte("1.0\n2.1\n")
+	if got := Classify(b, golden); got != Incorrect {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,299 @@
+// Package cluster runs an MPI job: it instantiates one virtual machine per
+// rank, wires each to the MPI runtime, executes all ranks concurrently,
+// and watches for the failure modes the paper classifies — crashes
+// (a trap on any rank aborts the whole job, as MPICH does), hangs
+// (detected by a distributed-deadlock check plus an instruction budget and
+// a wall-clock fallback), and detected errors.
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpifault/internal/image"
+	"mpifault/internal/mpi"
+	"mpifault/internal/progress"
+	"mpifault/internal/vm"
+)
+
+// Job describes one execution of a guest program on N ranks.
+type Job struct {
+	// Image is the linked guest program (all ranks run the same binary).
+	Image *image.Image
+	// Size is the number of MPI ranks.
+	Size int
+	// MPIConfig tunes the runtime (eager threshold, queue depth).
+	MPIConfig mpi.Config
+	// Budget bounds each rank's retired instructions; exceeding it is
+	// classified as a hang (the livelock analogue of the paper's "one
+	// minute beyond expected completion").  0 means unlimited.
+	Budget uint64
+	// WallLimit is the real-time fallback; default 30s.
+	WallLimit time.Duration
+	// Setup, when non-nil, runs for every rank before execution starts —
+	// the fault injector arms triggers and hooks here.
+	Setup func(rank int, m *vm.Machine, p *mpi.Proc)
+	// Tracer, when non-nil, is attached to rank TraceRank only (the paper
+	// instruments "a randomly selected MPI process").
+	Tracer    vm.Tracer
+	TraceRank int
+	// PMPIHook, when non-nil, observes every API-layer MPI call.
+	PMPIHook mpi.PMPIHook
+	// ProgressDetector, when non-nil, additionally watches the §7-style
+	// messages-per-second metric and declares a hang when it collapses.
+	ProgressDetector *progress.Config
+	// DisableDeadlockDetector turns off the exact stall detection,
+	// leaving only the progress metric and wall clock (used by the
+	// detector-ablation benchmarks).
+	DisableDeadlockDetector bool
+	// UseTCPTransport moves the Channel layer onto loopback TCP sockets
+	// — the closest available analogue of ch_p4 over Ethernet.  Fault
+	// injection is unaffected: the hook still runs on received bytes.
+	UseTCPTransport bool
+}
+
+// RankResult is the terminal state of one rank.
+type RankResult struct {
+	Trap   *vm.Trap
+	Reason vm.StopReason
+	Instrs uint64
+	MinSP  uint32
+	// HeapPeakUser/MPI are the allocator's per-owner high-water marks.
+	HeapPeakUser uint32
+	HeapPeakMPI  uint32
+	// HeapUsed is the total extent the heap break ever reached, the
+	// denominator for heap working-set percentages.
+	HeapUsed uint32
+	Stats    mpi.Stats
+}
+
+// Result is the outcome of a whole job.
+type Result struct {
+	Ranks []RankResult
+	// HangDetected is set when the deadlock watchdog, instruction budget
+	// or wall-clock limit fired.
+	HangDetected bool
+	// HangCause describes which detector fired.
+	HangCause string
+	// Stdout and Stderr are per-rank console captures.
+	Stdout [][]byte
+	Stderr [][]byte
+	// Files maps named output files (written via SysOpen) to contents.
+	Files map[string][]byte
+}
+
+// FirstFailure returns the most severe trap across ranks, preferring
+// application/MPI detections over raw signals so that a deliberate abort
+// isn't masked by the cascade of TrapKilled it causes elsewhere.
+func (r *Result) FirstFailure() *vm.Trap {
+	var sig *vm.Trap
+	for i := range r.Ranks {
+		t := r.Ranks[i].Trap
+		if t == nil {
+			continue
+		}
+		switch t.Kind {
+		case vm.TrapAbort, vm.TrapMPIHandler:
+			return t
+		case vm.TrapMPIFatal, vm.TrapSegv, vm.TrapIll, vm.TrapFpe:
+			if sig == nil {
+				sig = t
+			}
+		}
+	}
+	return sig
+}
+
+// Run executes the job to completion and returns the collected outcome.
+func Run(job Job) *Result {
+	if job.WallLimit == 0 {
+		job.WallLimit = 30 * time.Second
+	}
+	world := mpi.NewWorld(job.Size, job.MPIConfig)
+	if job.PMPIHook != nil {
+		world.SetPMPIHook(job.PMPIHook)
+	}
+	if job.UseTCPTransport {
+		tp, err := mpi.NewTCPTransport(world)
+		if err != nil {
+			// No sockets available: report an immediate job failure
+			// rather than panicking inside rank goroutines.
+			failed := &Result{
+				Ranks:  make([]RankResult, job.Size),
+				Stdout: make([][]byte, job.Size),
+				Stderr: make([][]byte, job.Size),
+				Files:  map[string][]byte{},
+			}
+			for r := range failed.Ranks {
+				failed.Ranks[r].Trap = &vm.Trap{Kind: vm.TrapMPIFatal,
+					Msg: "transport setup failed: " + err.Error()}
+			}
+			return failed
+		}
+		world.SetTransport(tp)
+		defer tp.Close()
+	}
+
+	res := &Result{
+		Ranks:  make([]RankResult, job.Size),
+		Stdout: make([][]byte, job.Size),
+		Stderr: make([][]byte, job.Size),
+		Files:  make(map[string][]byte),
+	}
+	files := &fileStore{files: res.Files}
+
+	// stopFlag halts still-computing VMs after a job-level verdict (the
+	// analogue of mpirun SIGKILLing survivors).
+	var stopFlag atomic.Bool
+	killAll := func() {
+		stopFlag.Store(true)
+		world.Kill()
+	}
+
+	machines := make([]*vm.Machine, job.Size)
+	ios := make([]*rankIO, job.Size)
+	for r := 0; r < job.Size; r++ {
+		m := vm.New(job.Image)
+		m.Stop = &stopFlag
+		io := &rankIO{proc: world.Proc(r), files: files}
+		m.Handler = io
+		if job.Tracer != nil && r == job.TraceRank {
+			m.Tracer = job.Tracer
+		}
+		if job.Setup != nil {
+			job.Setup(r, m, world.Proc(r))
+		}
+		machines[r] = m
+		ios[r] = io
+	}
+
+	var (
+		wg       sync.WaitGroup
+		hangOnce sync.Once
+		done     = make(chan struct{})
+	)
+	declareHang := func(cause string) {
+		hangOnce.Do(func() {
+			res.HangDetected = true
+			res.HangCause = cause
+			killAll()
+		})
+	}
+
+	for r := 0; r < job.Size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			m := machines[r]
+			out := m.Run(job.Budget)
+			world.Proc(r).MarkFinished()
+			res.Ranks[r].Reason = out.Reason
+			res.Ranks[r].Trap = out.Trap
+			if out.Reason == vm.StopBudget {
+				// Runaway execution: the paper's non-terminating mode.
+				declareHang("instruction budget exceeded")
+				return
+			}
+			if t := out.Trap; t != nil && t.Kind != vm.TrapExit && t.Kind != vm.TrapKilled {
+				// Any abnormal termination aborts the whole job, as
+				// MPICH's MPI_ERRORS_ARE_FATAL and signal handlers do.
+				killAll()
+			}
+		}(r)
+	}
+
+	// Watchdog: fast deadlock detection plus a wall-clock fallback.
+	go func() {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		deadline := time.After(job.WallLimit)
+		var lastProgress uint64
+		consec := 0
+		for {
+			select {
+			case <-done:
+				return
+			case <-deadline:
+				declareHang("wall-clock limit")
+				return
+			case <-tick.C:
+				if job.DisableDeadlockDetector {
+					continue
+				}
+				prog := world.Progress()
+				if world.Stalled() && prog == lastProgress {
+					consec++
+					// An exact deadlock (all blocked, nothing in flight)
+					// is certain after a short quiet confirmation.  A
+					// stall with packets still in flight could merely be
+					// a scheduling gap, so it needs a long quiet period —
+					// it is only genuinely stuck when a packet sits in
+					// the queue of a rank that already exited.
+					if (consec >= 2 && world.Deadlocked()) || consec >= 50 {
+						declareHang("distributed deadlock")
+						return
+					}
+				} else {
+					consec = 0
+				}
+				lastProgress = prog
+			}
+		}
+	}()
+
+	// Optional §7 progress-metric detector: messages per second.
+	if job.ProgressDetector != nil {
+		mon := progress.NewMonitor(*job.ProgressDetector, world.Progress)
+		go func() {
+			if mon.Run(done) {
+				declareHang("progress metric collapse")
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(done)
+
+	for r := 0; r < job.Size; r++ {
+		m := machines[r]
+		res.Ranks[r].Instrs = m.Instrs
+		res.Ranks[r].MinSP = m.MinSP
+		res.Ranks[r].HeapPeakUser = m.Heap.PeakUser
+		res.Ranks[r].HeapPeakMPI = m.Heap.PeakMPI
+		res.Ranks[r].HeapUsed = m.Heap.Brk() - job.Image.HeapBase
+		res.Ranks[r].Stats = ios[r].proc.Stats
+		res.Stdout[r] = ios[r].stdout
+		res.Stderr[r] = ios[r].appendSignalBanner(res.Ranks[r].Trap)
+	}
+	return res
+}
+
+// CanonicalOutput concatenates the observable application output the
+// paper compares against a golden run: rank 0's console plus every named
+// output file (written by rank 0 in all three workloads).
+func (r *Result) CanonicalOutput() []byte {
+	var out []byte
+	out = append(out, r.Stdout[0]...)
+	// Files in deterministic name order.
+	names := make([]string, 0, len(r.Files))
+	for n := range r.Files {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		out = append(out, '\f')
+		out = append(out, []byte(n)...)
+		out = append(out, '\n')
+		out = append(out, r.Files[n]...)
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"mpifault/internal/abi"
+	"mpifault/internal/mpi"
+	"mpifault/internal/vm"
+)
+
+// fileStore collects named output files.  All three workloads write their
+// results from rank 0, but the store is safe for any writer.
+type fileStore struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	names []string // fd - FdFileBase -> name
+}
+
+func (fs *fileStore) open(name string) int32 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.names = append(fs.names, name)
+	if _, ok := fs.files[name]; !ok {
+		fs.files[name] = nil
+	}
+	return abi.FdFileBase + int32(len(fs.names)-1)
+}
+
+func (fs *fileStore) write(fd int32, b []byte) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	i := int(fd - abi.FdFileBase)
+	if i < 0 || i >= len(fs.names) {
+		return false
+	}
+	name := fs.names[i]
+	fs.files[name] = append(fs.files[name], b...)
+	return true
+}
+
+// rankIO is the per-rank syscall handler: console and file I/O, the guest
+// malloc/free entry points, and the dispatch into the MPI runtime.
+type rankIO struct {
+	proc   *mpi.Proc
+	files  *fileStore
+	stdout []byte
+	stderr []byte
+}
+
+var _ vm.SyscallHandler = (*rankIO)(nil)
+
+// appendSignalBanner emulates MPICH's signal handler, which prints an
+// error to stderr on abnormal termination — the marker the paper's
+// harness greps for to classify Crashes.
+func (io *rankIO) appendSignalBanner(t *vm.Trap) []byte {
+	if t == nil {
+		return io.stderr
+	}
+	switch t.Kind {
+	case vm.TrapSegv, vm.TrapIll, vm.TrapFpe:
+		banner := fmt.Sprintf("p4_error: interrupt %s: pc=0x%08x addr=0x%08x\n",
+			t.Kind, t.PC, t.Addr)
+		return append(io.stderr, banner...)
+	case vm.TrapMPIFatal:
+		banner := fmt.Sprintf("MPI process aborted: %s\n", t.Msg)
+		return append(io.stderr, banner...)
+	case vm.TrapMPIHandler:
+		banner := fmt.Sprintf("user error handler invoked: %s\n", t.Msg)
+		return append(io.stderr, banner...)
+	}
+	return io.stderr
+}
+
+func (io *rankIO) writeFd(m *vm.Machine, fd int32, b []byte) *vm.Trap {
+	switch fd {
+	case abi.FdStdout:
+		io.stdout = append(io.stdout, b...)
+	case abi.FdStderr:
+		io.stderr = append(io.stderr, b...)
+	default:
+		if !io.files.write(fd, b) {
+			return &vm.Trap{Kind: vm.TrapSegv, PC: m.PC, Msg: "write to bad fd"}
+		}
+	}
+	return nil
+}
+
+// arg fetches syscall argument i, mapping a bad stack read to the trap it
+// would raise.
+func arg(m *vm.Machine, i int) (uint32, *vm.Trap) { return m.Arg(i) }
+
+// Syscall implements vm.SyscallHandler.
+func (io *rankIO) Syscall(m *vm.Machine, num int32) *vm.Trap {
+	switch num {
+	case abi.SysExit:
+		return &vm.Trap{Kind: vm.TrapExit, PC: m.PC, Code: int32(m.Regs[0])}
+
+	case abi.SysAbort:
+		// The guest runtime prints its diagnostic *before* calling abort;
+		// the harness classifies this as Application Detected.
+		return &vm.Trap{Kind: vm.TrapAbort, PC: m.PC, Code: int32(m.Regs[0]),
+			Msg: "application abort"}
+
+	case abi.SysWrite, abi.SysWriteBin:
+		fd, addr, n := int32(m.Regs[0]), m.Regs[1], m.Regs[2]
+		if n > 1<<24 {
+			return &vm.Trap{Kind: vm.TrapSegv, PC: m.PC, Addr: addr, Msg: "oversized write"}
+		}
+		b, t := m.ReadBytes(addr, int(n))
+		if t != nil {
+			return t
+		}
+		return io.writeFd(m, fd, b)
+
+	case abi.SysOpen:
+		addr, n := m.Regs[0], m.Regs[1]
+		if n > 4096 {
+			return &vm.Trap{Kind: vm.TrapSegv, PC: m.PC, Addr: addr, Msg: "oversized filename"}
+		}
+		b, t := m.ReadBytes(addr, int(n))
+		if t != nil {
+			return t
+		}
+		m.Regs[0] = uint32(io.files.open(string(b)))
+		return nil
+
+	case abi.SysWriteInt:
+		fd, v := int32(m.Regs[0]), int32(m.Regs[1])
+		return io.writeFd(m, fd, []byte(strconv.FormatInt(int64(v), 10)))
+
+	case abi.SysWriteF64:
+		fd, addr, prec := int32(m.Regs[0]), m.Regs[1], int(int32(m.Regs[2]))
+		v, t := m.LoadF64(addr)
+		if t != nil {
+			return t
+		}
+		return io.writeFd(m, fd, formatF64(v, prec))
+
+	case abi.SysWriteF64Arr:
+		fd, addr, count, prec := int32(m.Regs[0]), m.Regs[1], m.Regs[2], int(int32(m.Regs[3]))
+		if count > 1<<22 {
+			return &vm.Trap{Kind: vm.TrapSegv, PC: m.PC, Addr: addr, Msg: "oversized array write"}
+		}
+		var buf []byte
+		for i := uint32(0); i < count; i++ {
+			v, t := m.LoadF64(addr + 8*i)
+			if t != nil {
+				return t
+			}
+			buf = append(buf, formatF64(v, prec)...)
+			buf = append(buf, '\n')
+		}
+		return io.writeFd(m, fd, buf)
+
+	case abi.SysMalloc:
+		m.Regs[0] = m.Heap.Alloc(m.Regs[0], abi.ChunkUser)
+		return nil
+
+	case abi.SysFree:
+		return m.Heap.Free(m.Regs[0])
+
+	case abi.SysClock:
+		m.Regs[0] = uint32(m.Instrs)
+		return nil
+
+	case abi.SysMPIWtime:
+		// Virtual time: one nanosecond per retired instruction.
+		return m.StoreF64(m.Regs[0], float64(m.Instrs)*1e-9)
+	}
+
+	return io.mpiCall(m, num)
+}
+
+// mpiCall decodes MPI syscall arguments and dispatches to the API layer.
+func (io *rankIO) mpiCall(m *vm.Machine, num int32) *vm.Trap {
+	p := io.proc
+	switch num {
+	case abi.SysMPIInit:
+		return p.Init(m)
+
+	case abi.SysMPIFinalize:
+		return p.Finalize(m)
+
+	case abi.SysMPICommRank:
+		r, t := p.CommRank(m, int32(m.Regs[0]))
+		if t != nil {
+			return t
+		}
+		m.Regs[0] = uint32(r)
+		return nil
+
+	case abi.SysMPICommSize:
+		s, t := p.CommSize(m, int32(m.Regs[0]))
+		if t != nil {
+			return t
+		}
+		m.Regs[0] = uint32(s)
+		return nil
+
+	case abi.SysMPIErrhandlerSet:
+		return p.ErrhandlerSet(m, int32(m.Regs[0]), m.Regs[1])
+
+	case abi.SysMPISend:
+		a4, t := arg(m, 4)
+		if t != nil {
+			return t
+		}
+		a5, t := arg(m, 5)
+		if t != nil {
+			return t
+		}
+		return p.Send(m, m.Regs[0], int32(m.Regs[1]), int32(m.Regs[2]),
+			int32(m.Regs[3]), int32(a4), int32(a5))
+
+	case abi.SysMPIRecv:
+		a4, t := arg(m, 4)
+		if t != nil {
+			return t
+		}
+		a5, t := arg(m, 5)
+		if t != nil {
+			return t
+		}
+		a6, t := arg(m, 6)
+		if t != nil {
+			return t
+		}
+		return p.Recv(m, m.Regs[0], int32(m.Regs[1]), int32(m.Regs[2]),
+			int32(m.Regs[3]), int32(a4), int32(a5), a6)
+
+	case abi.SysMPIBarrier:
+		return p.Barrier(m, int32(m.Regs[0]))
+
+	case abi.SysMPIBcast:
+		a4, t := arg(m, 4)
+		if t != nil {
+			return t
+		}
+		return p.Bcast(m, m.Regs[0], int32(m.Regs[1]), int32(m.Regs[2]),
+			int32(m.Regs[3]), int32(a4))
+
+	case abi.SysMPIReduce:
+		a4, t := arg(m, 4)
+		if t != nil {
+			return t
+		}
+		a5, t := arg(m, 5)
+		if t != nil {
+			return t
+		}
+		a6, t := arg(m, 6)
+		if t != nil {
+			return t
+		}
+		return p.Reduce(m, m.Regs[0], m.Regs[1], int32(m.Regs[2]),
+			int32(m.Regs[3]), int32(a4), int32(a5), int32(a6))
+
+	case abi.SysMPIAllreduce:
+		a4, t := arg(m, 4)
+		if t != nil {
+			return t
+		}
+		a5, t := arg(m, 5)
+		if t != nil {
+			return t
+		}
+		return p.Allreduce(m, m.Regs[0], m.Regs[1], int32(m.Regs[2]),
+			int32(m.Regs[3]), int32(a4), int32(a5))
+
+	case abi.SysMPIGather:
+		a4, t := arg(m, 4)
+		if t != nil {
+			return t
+		}
+		a5, t := arg(m, 5)
+		if t != nil {
+			return t
+		}
+		return p.Gather(m, m.Regs[0], int32(m.Regs[1]), int32(m.Regs[2]),
+			m.Regs[3], int32(a4), int32(a5))
+
+	case abi.SysMPIAllgather:
+		a4, t := arg(m, 4)
+		if t != nil {
+			return t
+		}
+		return p.Allgather(m, m.Regs[0], int32(m.Regs[1]), int32(m.Regs[2]),
+			m.Regs[3], int32(a4))
+
+	case abi.SysMPIScatter:
+		a4, t := arg(m, 4)
+		if t != nil {
+			return t
+		}
+		a5, t := arg(m, 5)
+		if t != nil {
+			return t
+		}
+		return p.Scatter(m, m.Regs[0], int32(m.Regs[1]), int32(m.Regs[2]),
+			m.Regs[3], int32(a4), int32(a5))
+
+	case abi.SysMPIAlltoall:
+		a4, t := arg(m, 4)
+		if t != nil {
+			return t
+		}
+		return p.Alltoall(m, m.Regs[0], int32(m.Regs[1]), int32(m.Regs[2]),
+			m.Regs[3], int32(a4))
+
+	case abi.SysMPIIsend, abi.SysMPIIrecv:
+		a4, t := arg(m, 4)
+		if t != nil {
+			return t
+		}
+		a5, t := arg(m, 5)
+		if t != nil {
+			return t
+		}
+		reqAddr, t := arg(m, 6)
+		if t != nil {
+			return t
+		}
+		var id int32
+		var tr *vm.Trap
+		if num == abi.SysMPIIsend {
+			id, tr = p.Isend(m, m.Regs[0], int32(m.Regs[1]), int32(m.Regs[2]),
+				int32(m.Regs[3]), int32(a4), int32(a5))
+		} else {
+			id, tr = p.Irecv(m, m.Regs[0], int32(m.Regs[1]), int32(m.Regs[2]),
+				int32(m.Regs[3]), int32(a4), int32(a5))
+		}
+		if tr != nil {
+			return tr
+		}
+		return m.Store32(reqAddr, uint32(id))
+
+	case abi.SysMPIWait:
+		reqAddr, status := m.Regs[0], m.Regs[1]
+		id, t := m.Load32(reqAddr)
+		if t != nil {
+			return t
+		}
+		return p.Wait(m, int32(id), status)
+
+	case abi.SysMPIWaitall:
+		return p.Waitall(m, int32(m.Regs[0]), m.Regs[1], m.Regs[2])
+
+	case abi.SysMPISendrecv:
+		var a [11]uint32
+		for i := 0; i < 11; i++ {
+			v, t := arg(m, i)
+			if t != nil {
+				return t
+			}
+			a[i] = v
+		}
+		return p.Sendrecv(m, a[0], int32(a[1]), int32(a[2]), int32(a[3]), int32(a[4]),
+			a[5], int32(a[6]), int32(a[7]), int32(a[8]), int32(a[9]), a[10])
+
+	case abi.SysMPICommSplit:
+		newAddr := m.Regs[3]
+		h, tr := p.CommSplit(m, int32(m.Regs[0]), int32(m.Regs[1]), int32(m.Regs[2]))
+		if tr != nil {
+			return tr
+		}
+		return m.Store32(newAddr, uint32(h))
+
+	case abi.SysMPICommDup:
+		newAddr := m.Regs[1]
+		h, tr := p.CommDup(m, int32(m.Regs[0]))
+		if tr != nil {
+			return tr
+		}
+		return m.Store32(newAddr, uint32(h))
+	}
+
+	// An unknown syscall number — most plausibly a corrupted SYS
+	// immediate — faults like a bad instruction.
+	return &vm.Trap{Kind: vm.TrapIll, PC: m.PC,
+		Msg: fmt.Sprintf("unknown syscall %d", num)}
+}
+
+// formatF64 renders v in fixed-point notation with prec decimals, the
+// plain-text output format whose precision loss masks low-order-bit
+// corruption in Cactus Wavetoy (§6.2).
+func formatF64(v float64, prec int) []byte {
+	if prec < 0 {
+		prec = 17 // shortest round-trip would differ run to run; use max
+	}
+	return strconv.AppendFloat(nil, v, 'f', prec, 64)
+}

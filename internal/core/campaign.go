@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mpifault/internal/classify"
+	"mpifault/internal/cluster"
+	"mpifault/internal/image"
+	"mpifault/internal/mpi"
+	"mpifault/internal/rng"
+	"mpifault/internal/vm"
+)
+
+// Golden captures the fault-free reference execution: the canonical
+// output used for silent-corruption detection, and the per-rank
+// instruction counts and received message volumes that parameterize the
+// injection-space sampling (§4.3's b, m and t axes).
+type Golden struct {
+	Output    []byte
+	Instrs    []uint64
+	RecvBytes []uint64
+	Result    *cluster.Result
+}
+
+// MaxInstrs returns the largest per-rank instruction count.
+func (g *Golden) MaxInstrs() uint64 {
+	var max uint64
+	for _, n := range g.Instrs {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// RunGolden executes the fault-free reference run.
+func RunGolden(im *image.Image, ranks int, mpiCfg mpi.Config, wall time.Duration) (*Golden, error) {
+	res := cluster.Run(cluster.Job{
+		Image: im, Size: ranks, MPIConfig: mpiCfg, WallLimit: wall,
+	})
+	if res.HangDetected {
+		return nil, fmt.Errorf("core: golden run hung: %s", res.HangCause)
+	}
+	g := &Golden{Output: res.CanonicalOutput(), Result: res}
+	for r, rr := range res.Ranks {
+		if rr.Trap == nil || rr.Trap.Kind != vm.TrapExit || rr.Trap.Code != 0 {
+			return nil, fmt.Errorf("core: golden run rank %d failed: %v", r, rr.Trap)
+		}
+		g.Instrs = append(g.Instrs, rr.Instrs)
+		g.RecvBytes = append(g.RecvBytes, rr.Stats.TotalBytes())
+	}
+	return g, nil
+}
+
+// Experiment records one injection and its manifestation.
+type Experiment struct {
+	Region  Region
+	Index   int
+	Rank    int
+	Trigger uint64 // instruction count, or received-byte offset for messages
+	Desc    string // what was flipped (filled in during the run)
+	Outcome classify.Outcome
+}
+
+// Config parameterizes an injection campaign for one application image.
+type Config struct {
+	Image     *image.Image
+	Ranks     int
+	MPIConfig mpi.Config
+	// Injections is the per-region experiment count (the paper uses
+	// 400-1000 per region, 2000 for some message rows).
+	Injections int
+	// Regions selects which table rows to run; nil means all eight.
+	Regions []Region
+	// Seed makes the whole campaign reproducible.
+	Seed uint64
+	// Parallelism bounds concurrently executing jobs; 0 picks a default.
+	Parallelism int
+	// BudgetMultiplier scales the golden max instruction count into the
+	// per-rank livelock budget; 0 means 4x.
+	BudgetMultiplier int
+	// WallLimit is the per-run wall-clock fallback; 0 means 10s.
+	WallLimit time.Duration
+	// Progress, when non-nil, is called after every finished experiment.
+	Progress func(done, total int)
+	// KeepExperiments retains the per-injection records in the result.
+	KeepExperiments bool
+}
+
+// Tally aggregates outcomes for one region.
+type Tally struct {
+	Region     Region
+	Executions int
+	Outcomes   [classify.NumOutcomes]int
+}
+
+// Errors returns the number of manifested faults.
+func (t *Tally) Errors() int {
+	return t.Executions - t.Outcomes[classify.Correct]
+}
+
+// ErrorRate returns the percentage of injections that manifested.
+func (t *Tally) ErrorRate() float64 {
+	if t.Executions == 0 {
+		return 0
+	}
+	return 100 * float64(t.Errors()) / float64(t.Executions)
+}
+
+// ManifestPercent returns outcome o as a percentage of manifested errors,
+// the denominator used in the paper's "Error Manifestations" columns.
+func (t *Tally) ManifestPercent(o classify.Outcome) float64 {
+	e := t.Errors()
+	if e == 0 {
+		return 0
+	}
+	return 100 * float64(t.Outcomes[o]) / float64(e)
+}
+
+// Result is a finished campaign: one tally per region, in table order.
+type Result struct {
+	Tallies     []Tally
+	Golden      *Golden
+	Experiments []Experiment
+}
+
+// Tally returns the tally for a region, if present.
+func (r *Result) Tally(region Region) (Tally, bool) {
+	for _, t := range r.Tallies {
+		if t.Region == region {
+			return t, true
+		}
+	}
+	return Tally{}, false
+}
+
+// Run executes the full campaign: a golden run followed by
+// Injections × len(Regions) independent fault-injection runs.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Injections <= 0 {
+		cfg.Injections = 100
+	}
+	if len(cfg.Regions) == 0 {
+		cfg.Regions = Regions()
+	}
+	if cfg.BudgetMultiplier <= 0 {
+		cfg.BudgetMultiplier = 4
+	}
+	if cfg.WallLimit == 0 {
+		cfg.WallLimit = 10 * time.Second
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)/2 + 1
+	}
+
+	golden, err := RunGolden(cfg.Image, cfg.Ranks, cfg.MPIConfig, cfg.WallLimit)
+	if err != nil {
+		return nil, err
+	}
+	dict := NewDictionary(cfg.Image)
+	budget := golden.MaxInstrs() * uint64(cfg.BudgetMultiplier)
+
+	total := cfg.Injections * len(cfg.Regions)
+	experiments := make([]Experiment, total)
+	for ri, region := range cfg.Regions {
+		for i := 0; i < cfg.Injections; i++ {
+			experiments[ri*cfg.Injections+i] = Experiment{Region: region, Index: i}
+		}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		done int
+		mu   sync.Mutex
+	)
+	base := rng.New(cfg.Seed)
+	for w := 0; w < cfg.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				e := &experiments[idx]
+				runOne(cfg, golden, dict, budget, e,
+					base.Derive(uint64(e.Region), uint64(e.Index)))
+				if cfg.Progress != nil {
+					mu.Lock()
+					done++
+					d := done
+					mu.Unlock()
+					cfg.Progress(d, total)
+				}
+			}
+		}()
+	}
+	for idx := range experiments {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	res := &Result{Golden: golden}
+	for _, region := range cfg.Regions {
+		t := Tally{Region: region}
+		for _, e := range experiments {
+			if e.Region != region {
+				continue
+			}
+			t.Executions++
+			t.Outcomes[e.Outcome]++
+		}
+		res.Tallies = append(res.Tallies, t)
+	}
+	if cfg.KeepExperiments {
+		res.Experiments = experiments
+	}
+	return res, nil
+}
+
+// runOne performs a single injection experiment.
+func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Experiment, r *rng.Rand) {
+	e.Rank = r.Intn(cfg.Ranks)
+
+	var (
+		mi      *MessageInjector
+		descMu  sync.Mutex
+		applied string
+	)
+	job := cluster.Job{
+		Image:     cfg.Image,
+		Size:      cfg.Ranks,
+		MPIConfig: cfg.MPIConfig,
+		Budget:    budget,
+		WallLimit: cfg.WallLimit,
+	}
+
+	if e.Region == RegionMessage {
+		vol := golden.RecvBytes[e.Rank]
+		if vol == 0 {
+			e.Outcome = classify.Correct
+			e.Desc = "no traffic"
+			return
+		}
+		e.Trigger = r.Uint64n(vol)
+		mi = &MessageInjector{TriggerByte: e.Trigger, Bit: uint(r.Intn(8))}
+		job.Setup = func(rank int, m *vm.Machine, p *mpi.Proc) {
+			if rank == e.Rank {
+				p.RecvHook = mi.Hook
+			}
+		}
+	} else {
+		// Injection time: uniform over the target rank's execution, the
+		// t axis of the sampling space.
+		e.Trigger = 1 + r.Uint64n(golden.Instrs[e.Rank])
+		region := e.Region
+		faultRng := r.Split()
+		job.Setup = func(rank int, m *vm.Machine, p *mpi.Proc) {
+			if rank != e.Rank {
+				return
+			}
+			m.TriggerAt = e.Trigger
+			m.TriggerFn = func(m *vm.Machine) {
+				var d string
+				switch region {
+				case RegionRegularReg:
+					d = ApplyRegisterFault(m, faultRng)
+				case RegionFPReg:
+					d = ApplyFPRegisterFault(m, faultRng)
+				case RegionText, RegionData, RegionBSS:
+					d = ApplyStaticFault(m, dict, region, faultRng)
+				case RegionHeap:
+					d = ApplyHeapFault(m, faultRng)
+				case RegionStack:
+					d = ApplyStackFault(m, faultRng)
+				}
+				descMu.Lock()
+				applied = d
+				descMu.Unlock()
+			}
+		}
+	}
+
+	res := cluster.Run(job)
+	e.Outcome = classify.Classify(res, golden.Output)
+	if mi != nil {
+		e.Desc = mi.Desc
+	} else {
+		descMu.Lock()
+		e.Desc = applied
+		descMu.Unlock()
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mpifault/internal/apps"
+	"mpifault/internal/classify"
+	"mpifault/internal/image"
+	"mpifault/internal/mpi"
+)
+
+func defaultMPI() mpi.Config { return mpi.Config{} }
+
+func buildApp(t testing.TB, name string) (*image.Image, int) {
+	t.Helper()
+	a, err := apps.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := a.Build(a.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im, a.Default.Ranks
+}
+
+func TestGoldenRunWavetoy(t *testing.T) {
+	im, ranks := buildApp(t, "wavetoy")
+	g, err := RunGolden(im, ranks, defaultMPI(), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Output) == 0 {
+		t.Fatal("golden output empty")
+	}
+	for r := 0; r < ranks; r++ {
+		if g.Instrs[r] == 0 {
+			t.Fatalf("rank %d retired no instructions", r)
+		}
+		if g.RecvBytes[r] == 0 {
+			t.Fatalf("rank %d received no traffic", r)
+		}
+	}
+}
+
+func TestMiniCampaignWavetoy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test is slow")
+	}
+	im, ranks := buildApp(t, "wavetoy")
+	res, err := Run(Config{
+		Image: im, Ranks: ranks, Injections: 24, Seed: 42,
+		KeepExperiments: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tallies) != int(NumRegions) {
+		t.Fatalf("got %d tallies", len(res.Tallies))
+	}
+	reg, _ := res.Tally(RegionRegularReg)
+	fp, _ := res.Tally(RegionFPReg)
+	// The paper's headline shape: integer registers are far more
+	// vulnerable than FP registers (62.8%% vs 4.0%% for Wavetoy).  At 24
+	// injections the confidence is loose; only require the ordering.
+	if reg.Errors() <= fp.Errors() {
+		t.Errorf("regular-register errors (%d) should exceed FP-register errors (%d)",
+			reg.Errors(), fp.Errors())
+	}
+	if reg.ErrorRate() < 20 {
+		t.Errorf("regular-register error rate %.1f%%, expected substantial", reg.ErrorRate())
+	}
+	// Every region must have run the requested number of injections.
+	for _, tl := range res.Tallies {
+		if tl.Executions != 24 {
+			t.Errorf("%s ran %d executions", tl.Region, tl.Executions)
+		}
+	}
+	// Experiments carry descriptions for manifested faults.
+	var described int
+	for _, e := range res.Experiments {
+		if e.Desc != "" {
+			described++
+		}
+	}
+	if described == 0 {
+		t.Error("no experiment recorded a fault description")
+	}
+	// At least one classic crash should appear across 192 injections.
+	var crashes int
+	for _, tl := range res.Tallies {
+		crashes += tl.Outcomes[classify.Crash]
+	}
+	if crashes == 0 {
+		t.Error("expected at least one Crash manifestation")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test is slow")
+	}
+	im, ranks := buildApp(t, "wavetoy")
+	cfg := Config{
+		Image: im, Ranks: ranks, Injections: 8, Seed: 7,
+		Regions: []Region{RegionRegularReg, RegionText},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tallies {
+		if a.Tallies[i] != b.Tallies[i] {
+			t.Errorf("region %s: tallies differ between identical campaigns:\n%+v\n%+v",
+				a.Tallies[i].Region, a.Tallies[i], b.Tallies[i])
+		}
+	}
+}

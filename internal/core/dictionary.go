@@ -1,0 +1,96 @@
+// Package core implements the paper's primary contribution: the software
+// fault injector (SWIFI) for MPI applications and the campaign machinery
+// around it.
+//
+// Fault models, following §3:
+//
+//   - register faults: single bit flips in the integer register file
+//     (GPRs, PC, FLAGS — the paper's "regular registers") or the
+//     floating-point environment (eight data registers plus CWD, SWD,
+//     TWD, FIP, FCS, FOO, FOS);
+//   - memory faults: single bit flips in the text, data, BSS, heap or
+//     stack of one MPI process, restricted to user-application memory via
+//     a fault dictionary (static regions), a tagged-chunk scan (heap) and
+//     a frame-pointer walk (stack);
+//   - message faults: a single bit flip in the incoming Channel-level
+//     byte stream of one rank, triggered by a received-volume counter.
+//
+// Each injection is the analogue of one ptrace stop-modify-resume cycle:
+// the virtual machine halts at a chosen instruction count, the fault is
+// applied to its architectural state, and execution resumes.
+package core
+
+import (
+	"mpifault/internal/image"
+	"mpifault/internal/rng"
+)
+
+// Dictionary is the paper's fault dictionary: the user-application
+// address ranges of the static sections, with every MPI-library symbol
+// removed (§3.2).
+type Dictionary struct {
+	Text []image.Symbol
+	Data []image.Symbol
+	BSS  []image.Symbol
+
+	textBytes, dataBytes, bssBytes uint64
+}
+
+// NewDictionary scans the image's symbol table, keeping only user-owned
+// symbols, exactly as the paper builds its {symbolic name, address} lists
+// from the application and library binaries.
+func NewDictionary(im *image.Image) *Dictionary {
+	d := &Dictionary{}
+	for _, s := range im.Symbols {
+		if s.Owner != image.OwnerUser || s.Size == 0 {
+			continue
+		}
+		switch s.Kind {
+		case image.SymFunc:
+			d.Text = append(d.Text, s)
+			d.textBytes += uint64(s.Size)
+		case image.SymData:
+			d.Data = append(d.Data, s)
+			d.dataBytes += uint64(s.Size)
+		case image.SymBSS:
+			d.BSS = append(d.BSS, s)
+			d.bssBytes += uint64(s.Size)
+		}
+	}
+	return d
+}
+
+// randAddr picks a byte address uniformly over the listed symbols.
+func randAddr(syms []image.Symbol, total uint64, r *rng.Rand) (uint32, bool) {
+	if total == 0 {
+		return 0, false
+	}
+	off := r.Uint64n(total)
+	for _, s := range syms {
+		if off < uint64(s.Size) {
+			return s.Addr + uint32(off), true
+		}
+		off -= uint64(s.Size)
+	}
+	return 0, false
+}
+
+// RandText returns a uniformly chosen user text byte address.
+func (d *Dictionary) RandText(r *rng.Rand) (uint32, bool) {
+	return randAddr(d.Text, d.textBytes, r)
+}
+
+// RandData returns a uniformly chosen user data byte address.
+func (d *Dictionary) RandData(r *rng.Rand) (uint32, bool) {
+	return randAddr(d.Data, d.dataBytes, r)
+}
+
+// RandBSS returns a uniformly chosen user BSS byte address.
+func (d *Dictionary) RandBSS(r *rng.Rand) (uint32, bool) {
+	return randAddr(d.BSS, d.bssBytes, r)
+}
+
+// Sizes returns the user-owned byte totals per static section.
+func (d *Dictionary) Sizes() (text, data, bss uint64) {
+	return d.textBytes, d.dataBytes, d.bssBytes
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mpifault/internal/abi"
+	"mpifault/internal/isa"
+	"mpifault/internal/rng"
+	"mpifault/internal/vm"
+)
+
+// Region enumerates the paper's eight injection targets, in the row order
+// of Tables 2-4.
+type Region int
+
+const (
+	RegionRegularReg Region = iota
+	RegionFPReg
+	RegionBSS
+	RegionData
+	RegionStack
+	RegionText
+	RegionHeap
+	RegionMessage
+	NumRegions
+)
+
+// String returns the table row label used in the paper.
+func (r Region) String() string {
+	switch r {
+	case RegionRegularReg:
+		return "Regular Reg."
+	case RegionFPReg:
+		return "FP Reg."
+	case RegionBSS:
+		return "BSS"
+	case RegionData:
+		return "Data"
+	case RegionStack:
+		return "Stack"
+	case RegionText:
+		return "Text"
+	case RegionHeap:
+		return "Heap"
+	case RegionMessage:
+		return "Message"
+	default:
+		return "Region?"
+	}
+}
+
+// ParseRegion resolves a table row label or short name.
+func ParseRegion(s string) (Region, error) {
+	switch s {
+	case "reg", "regular", "Regular Reg.":
+		return RegionRegularReg, nil
+	case "fpreg", "fp", "FP Reg.":
+		return RegionFPReg, nil
+	case "bss", "BSS":
+		return RegionBSS, nil
+	case "data", "Data":
+		return RegionData, nil
+	case "stack", "Stack":
+		return RegionStack, nil
+	case "text", "Text":
+		return RegionText, nil
+	case "heap", "Heap":
+		return RegionHeap, nil
+	case "message", "msg", "Message":
+		return RegionMessage, nil
+	}
+	return 0, fmt.Errorf("core: unknown region %q", s)
+}
+
+// Regions returns all regions in table order.
+func Regions() []Region {
+	out := make([]Region, NumRegions)
+	for i := range out {
+		out[i] = Region(i)
+	}
+	return out
+}
+
+// ApplyRegisterFault flips one uniformly chosen bit across the "regular"
+// register set: the eight GPRs, the program counter and the flags — the
+// x86's general-purpose context.  It returns a description of the flip.
+func ApplyRegisterFault(m *vm.Machine, r *rng.Rand) string {
+	// 8 GPRs + PC + FLAGS, 32 bits each.
+	target := r.Intn(10)
+	bit := uint(r.Intn(32))
+	switch {
+	case target < isa.NumGPR:
+		m.Regs[target] ^= 1 << bit
+		return fmt.Sprintf("%s bit %d", isa.GPRName(target), bit)
+	case target == 8:
+		m.PC ^= 1 << bit
+		return fmt.Sprintf("pc bit %d", bit)
+	default:
+		m.Flags ^= 1 << bit
+		return fmt.Sprintf("flags bit %d", bit)
+	}
+}
+
+// ApplyFPRegisterFault flips one uniformly chosen bit across the
+// floating-point environment: the eight 64-bit data registers and the
+// seven special registers (CWD, SWD, TWD, FIP, FCS, FOO, FOS), matching
+// the paper's x87 target set (§3.2, §6.1.1).
+func ApplyFPRegisterFault(m *vm.Machine, r *rng.Rand) string {
+	const (
+		dataBits = isa.NumFPReg * 64 // 512
+		wordBits = 16                // CWD, SWD, TWD
+	)
+	// Total: 512 data + 3*16 + 4*32 = 688 bits.
+	n := r.Intn(dataBits + 3*wordBits + 4*32)
+	e := &m.FP
+	switch {
+	case n < dataBits:
+		reg := n / 64
+		bit := uint(n % 64)
+		bits := math.Float64bits(e.Regs[reg]) ^ (1 << bit)
+		e.Regs[reg] = math.Float64frombits(bits)
+		return fmt.Sprintf("st-phys%d bit %d", reg, bit)
+	case n < dataBits+wordBits:
+		bit := uint(n - dataBits)
+		e.CWD ^= 1 << bit
+		return fmt.Sprintf("CWD bit %d", bit)
+	case n < dataBits+2*wordBits:
+		bit := uint(n - dataBits - wordBits)
+		e.SWD ^= 1 << bit
+		return fmt.Sprintf("SWD bit %d", bit)
+	case n < dataBits+3*wordBits:
+		bit := uint(n - dataBits - 2*wordBits)
+		e.TWD ^= 1 << bit
+		return fmt.Sprintf("TWD bit %d", bit)
+	default:
+		k := n - dataBits - 3*wordBits
+		reg := k / 32
+		bit := uint(k % 32)
+		switch reg {
+		case 0:
+			e.FIP ^= 1 << bit
+			return fmt.Sprintf("FIP bit %d", bit)
+		case 1:
+			e.FCS ^= 1 << bit
+			return fmt.Sprintf("FCS bit %d", bit)
+		case 2:
+			e.FOO ^= 1 << bit
+			return fmt.Sprintf("FOO bit %d", bit)
+		default:
+			e.FOS ^= 1 << bit
+			return fmt.Sprintf("FOS bit %d", bit)
+		}
+	}
+}
+
+// flipByte flips one bit of the byte at addr through the injector's raw
+// (permission-ignoring) memory view, as ptrace POKEDATA would.
+func flipByte(m *vm.Machine, addr uint32, bit uint) bool {
+	b, ok := m.RawRead(addr, 1)
+	if !ok {
+		return false
+	}
+	return m.RawWrite(addr, []byte{b[0] ^ (1 << bit)})
+}
+
+// ApplyStaticFault flips a bit at a dictionary-chosen address of the
+// text, data or BSS section.
+func ApplyStaticFault(m *vm.Machine, d *Dictionary, region Region, r *rng.Rand) string {
+	var addr uint32
+	var ok bool
+	switch region {
+	case RegionText:
+		addr, ok = d.RandText(r)
+	case RegionData:
+		addr, ok = d.RandData(r)
+	case RegionBSS:
+		addr, ok = d.RandBSS(r)
+	}
+	if !ok {
+		return "no target"
+	}
+	bit := uint(r.Intn(8))
+	if !flipByte(m, addr, bit) {
+		return "no target"
+	}
+	return fmt.Sprintf("%s 0x%08x bit %d", region, addr, bit)
+}
+
+// ApplyHeapFault scans the guest-resident chunk headers for user-tagged
+// chunks (the paper's malloc-wrapper identifiers) and flips one bit in a
+// uniformly chosen payload byte.
+func ApplyHeapFault(m *vm.Machine, r *rng.Rand) string {
+	chunks := m.Heap.Chunks()
+	var total uint64
+	for _, c := range chunks {
+		if c.Valid && c.Tag == abi.ChunkUser {
+			total += uint64(c.Size)
+		}
+	}
+	if total == 0 {
+		return "no target"
+	}
+	off := r.Uint64n(total)
+	for _, c := range chunks {
+		if !c.Valid || c.Tag != abi.ChunkUser {
+			continue
+		}
+		if off < uint64(c.Size) {
+			bit := uint(r.Intn(8))
+			// Include the chunk header region occasionally?  The paper
+			// flips bits in the located chunk's payload; stay faithful.
+			if !flipByte(m, c.Payload+uint32(off), bit) {
+				return "no target"
+			}
+			return fmt.Sprintf("heap 0x%08x bit %d", c.Payload+uint32(off), bit)
+		}
+		off -= uint64(c.Size)
+	}
+	return "no target"
+}
+
+// ApplyStackFault walks the frame-pointer chain and flips a bit inside a
+// frame that is in user-application context — §3.2's criterion that the
+// frame's return address lie within user text.
+func ApplyStackFault(m *vm.Machine, r *rng.Rand) string {
+	frames := m.WalkFrames()
+	type span struct{ lo, hi uint32 }
+	var spans []span
+	var total uint64
+	lo := m.Regs[isa.SP]
+	for _, fr := range frames {
+		hi := fr.FP + 8 // include the saved FP and return address
+		if hi <= lo {
+			lo = hi
+			continue
+		}
+		if fr.UserContext {
+			spans = append(spans, span{lo, hi})
+			total += uint64(hi - lo)
+		}
+		lo = hi
+	}
+	if total == 0 {
+		return "no target"
+	}
+	off := r.Uint64n(total)
+	for _, s := range spans {
+		n := uint64(s.hi - s.lo)
+		if off < n {
+			addr := s.lo + uint32(off)
+			bit := uint(r.Intn(8))
+			if !flipByte(m, addr, bit) {
+				return "no target"
+			}
+			return fmt.Sprintf("stack 0x%08x bit %d", addr, bit)
+		}
+		off -= n
+	}
+	return "no target"
+}
+
+// MessageInjector corrupts one bit of a rank's incoming Channel stream
+// once the received-volume counter reaches the trigger offset (§3.3).
+// Install its Hook as the rank's RecvHook.
+type MessageInjector struct {
+	TriggerByte uint64 // offset into the cumulative received byte stream
+	Bit         uint   // bit to flip within the chosen byte
+
+	seen     uint64
+	Injected bool
+	Desc     string
+}
+
+// Hook implements the Channel-layer injection point: it runs on the raw
+// bytes of each received packet, immediately after the recv and before
+// parsing.
+func (mi *MessageInjector) Hook(pkt []byte) {
+	if mi.Injected {
+		mi.seen += uint64(len(pkt))
+		return
+	}
+	if mi.TriggerByte < mi.seen+uint64(len(pkt)) {
+		idx := mi.TriggerByte - mi.seen
+		pkt[idx] ^= 1 << mi.Bit
+		mi.Injected = true
+		where := "payload"
+		if idx < 48 {
+			where = "header"
+		}
+		mi.Desc = fmt.Sprintf("message byte %d (%s) bit %d", idx, where, mi.Bit)
+	}
+	mi.seen += uint64(len(pkt))
+}

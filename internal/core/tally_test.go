@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mpifault/internal/classify"
+	"mpifault/internal/mpi"
+)
+
+func TestTallyMath(t *testing.T) {
+	tl := Tally{Region: RegionText, Executions: 500}
+	tl.Outcomes[classify.Correct] = 400
+	tl.Outcomes[classify.Crash] = 60
+	tl.Outcomes[classify.Hang] = 20
+	tl.Outcomes[classify.Incorrect] = 20
+	if tl.Errors() != 100 {
+		t.Fatalf("errors = %d", tl.Errors())
+	}
+	if got := tl.ErrorRate(); got != 20 {
+		t.Fatalf("error rate = %v", got)
+	}
+	if got := tl.ManifestPercent(classify.Crash); got != 60 {
+		t.Fatalf("crash%% = %v", got)
+	}
+	if got := tl.ManifestPercent(classify.Hang); got != 20 {
+		t.Fatalf("hang%% = %v", got)
+	}
+}
+
+func TestTallyEmptyIsSafe(t *testing.T) {
+	var tl Tally
+	if tl.ErrorRate() != 0 || tl.ManifestPercent(classify.Crash) != 0 {
+		t.Fatal("empty tally must not divide by zero")
+	}
+	tl.Executions = 10
+	tl.Outcomes[classify.Correct] = 10
+	if tl.ManifestPercent(classify.Crash) != 0 {
+		t.Fatal("all-correct tally must report 0% manifestations")
+	}
+}
+
+// TestTallyInvariantsProperty: manifestation percentages over all error
+// classes always sum to ~100 when any error exists.
+func TestTallyInvariantsProperty(t *testing.T) {
+	f := func(c, h, i, a, m, ok uint8) bool {
+		tl := Tally{Region: RegionData}
+		tl.Outcomes[classify.Crash] = int(c % 50)
+		tl.Outcomes[classify.Hang] = int(h % 50)
+		tl.Outcomes[classify.Incorrect] = int(i % 50)
+		tl.Outcomes[classify.AppDetected] = int(a % 50)
+		tl.Outcomes[classify.MPIDetected] = int(m % 50)
+		tl.Outcomes[classify.Correct] = int(ok % 50)
+		for _, n := range tl.Outcomes {
+			tl.Executions += n
+		}
+		if tl.Errors() == 0 {
+			return tl.ErrorRate() == 0
+		}
+		sum := 0.0
+		for o := classify.Outcome(0); o < classify.NumOutcomes; o++ {
+			if o != classify.Correct {
+				sum += tl.ManifestPercent(o)
+			}
+		}
+		return sum > 99.999 && sum < 100.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultTallyLookup(t *testing.T) {
+	res := &Result{Tallies: []Tally{{Region: RegionHeap, Executions: 3}}}
+	if tl, ok := res.Tally(RegionHeap); !ok || tl.Executions != 3 {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := res.Tally(RegionText); ok {
+		t.Fatal("missing region reported present")
+	}
+}
+
+func TestCampaignSubsetAndProgress(t *testing.T) {
+	im, ranks := buildApp(t, "wavetoy")
+	var calls int
+	res, err := Run(Config{
+		Image: im, Ranks: ranks,
+		Injections: 3,
+		Regions:    []Region{RegionFPReg, RegionHeap},
+		Seed:       5,
+		Progress:   func(done, total int) { calls = done; _ = total },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tallies) != 2 {
+		t.Fatalf("tallies = %d", len(res.Tallies))
+	}
+	if calls != 6 {
+		t.Fatalf("progress callback saw %d completions, want 6", calls)
+	}
+	if res.Experiments != nil {
+		t.Fatal("experiments kept without KeepExperiments")
+	}
+	if _, ok := res.Tally(RegionFPReg); !ok {
+		t.Fatal("requested region missing")
+	}
+	if _, ok := res.Tally(RegionText); ok {
+		t.Fatal("unrequested region present")
+	}
+}
+
+func TestGoldenOddWorldSize(t *testing.T) {
+	// The workloads read the true world size from MPI_Comm_size, so the
+	// same binary must run at sizes other than its build-time default
+	// (including odd sizes, where the parity-ordered halo exchange has
+	// an unpaired rank).
+	im, _ := buildApp(t, "wavetoy")
+	g, err := RunGolden(im, 3, mpi.Config{}, 30*time.Second)
+	if err != nil {
+		t.Fatalf("3-rank golden failed: %v", err)
+	}
+	if len(g.Instrs) != 3 {
+		t.Fatalf("instrs for %d ranks", len(g.Instrs))
+	}
+}

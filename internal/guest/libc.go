@@ -1,0 +1,191 @@
+package guest
+
+import (
+	"mpifault/internal/abi"
+	"mpifault/internal/asm"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// AddLibc adds the guest C-runtime module.  It is owned by the user
+// application (a statically linked libc is part of the binary's user
+// text), so its code and data are legitimate fault-injection targets —
+// just as the paper's applications carried their runtime support along.
+func AddLibc(b *asm.Builder) *asm.Module {
+	m := b.Module("libc", image.OwnerUser)
+
+	// memcpy(dst, src, n): byte copy.
+	{
+		f := m.Func("memcpy")
+		f.Prologue(0)
+		f.LdArg(isa.R0, 0) // dst
+		f.LdArg(isa.R1, 1) // src
+		f.LdArg(isa.R2, 2) // n
+		f.Movi(isa.R3, 0)
+		loop, done := f.NewLabel(), f.NewLabel()
+		f.Label(loop)
+		f.Cmp(isa.R3, isa.R2)
+		f.Bge(done)
+		f.Ldb(isa.R4, isa.R1, isa.R3, 0)
+		f.Stb(isa.R0, isa.R3, 0, isa.R4)
+		f.Addi(isa.R3, isa.R3, 1)
+		f.Jmp(loop)
+		f.Label(done)
+		f.Epilogue()
+	}
+
+	// memcpyw(dst, src, nwords): word copy, for large aligned buffers.
+	{
+		f := m.Func("memcpyw")
+		f.Prologue(0)
+		f.LdArg(isa.R0, 0)
+		f.LdArg(isa.R1, 1)
+		f.LdArg(isa.R2, 2) // word count
+		f.Shli(isa.R2, isa.R2, 2)
+		f.Movi(isa.R3, 0)
+		loop, done := f.NewLabel(), f.NewLabel()
+		f.Label(loop)
+		f.Cmp(isa.R3, isa.R2)
+		f.Bge(done)
+		f.Ldx(isa.R4, isa.R1, isa.R3, 0)
+		f.Stx(isa.R0, isa.R3, 0, isa.R4)
+		f.Addi(isa.R3, isa.R3, 4)
+		f.Jmp(loop)
+		f.Label(done)
+		f.Epilogue()
+	}
+
+	// memset(dst, c, n): byte fill.
+	{
+		f := m.Func("memset")
+		f.Prologue(0)
+		f.LdArg(isa.R0, 0)
+		f.LdArg(isa.R1, 1)
+		f.LdArg(isa.R2, 2)
+		f.Movi(isa.R3, 0)
+		loop, done := f.NewLabel(), f.NewLabel()
+		f.Label(loop)
+		f.Cmp(isa.R3, isa.R2)
+		f.Bge(done)
+		f.Stb(isa.R0, isa.R3, 0, isa.R1)
+		f.Addi(isa.R3, isa.R3, 1)
+		f.Jmp(loop)
+		f.Label(done)
+		f.Epilogue()
+	}
+
+	// malloc(size) -> addr (0 on exhaustion).
+	{
+		f := m.Func("malloc")
+		f.Ld(isa.R0, isa.SP, 4)
+		f.Sys(abi.SysMalloc)
+		f.Ret()
+	}
+
+	// free(addr).
+	{
+		f := m.Func("free")
+		f.Ld(isa.R0, isa.SP, 4)
+		f.Sys(abi.SysFree)
+		f.Ret()
+	}
+
+	// print(fd, addr, len): raw console/file write.
+	{
+		f := m.Func("print")
+		f.Ld(isa.R0, isa.SP, 4)
+		f.Ld(isa.R1, isa.SP, 8)
+		f.Ld(isa.R2, isa.SP, 12)
+		f.Sys(abi.SysWrite)
+		f.Ret()
+	}
+
+	// print_int(fd, value): decimal text.
+	{
+		f := m.Func("print_int")
+		f.Ld(isa.R0, isa.SP, 4)
+		f.Ld(isa.R1, isa.SP, 8)
+		f.Sys(abi.SysWriteInt)
+		f.Ret()
+	}
+
+	// print_f64(fd, f64addr, precision): fixed-point text.
+	{
+		f := m.Func("print_f64")
+		f.Ld(isa.R0, isa.SP, 4)
+		f.Ld(isa.R1, isa.SP, 8)
+		f.Ld(isa.R2, isa.SP, 12)
+		f.Sys(abi.SysWriteF64)
+		f.Ret()
+	}
+
+	// print_f64arr(fd, addr, count, precision): one value per line.
+	{
+		f := m.Func("print_f64arr")
+		f.Ld(isa.R0, isa.SP, 4)
+		f.Ld(isa.R1, isa.SP, 8)
+		f.Ld(isa.R2, isa.SP, 12)
+		f.Ld(isa.R3, isa.SP, 16)
+		f.Sys(abi.SysWriteF64Arr)
+		f.Ret()
+	}
+
+	// write_bin(fd, addr, len): raw binary output (the §7 alternative to
+	// text output that exposes all low-order-bit corruption).
+	{
+		f := m.Func("write_bin")
+		f.Ld(isa.R0, isa.SP, 4)
+		f.Ld(isa.R1, isa.SP, 8)
+		f.Ld(isa.R2, isa.SP, 12)
+		f.Sys(abi.SysWriteBin)
+		f.Ret()
+	}
+
+	// open(nameAddr, nameLen) -> fd.
+	{
+		f := m.Func("open")
+		f.Ld(isa.R0, isa.SP, 4)
+		f.Ld(isa.R1, isa.SP, 8)
+		f.Sys(abi.SysOpen)
+		f.Ret()
+	}
+
+	// app_abort(msgAddr, msgLen): print a diagnostic to stderr, then
+	// abort with the Application-Detected exit code.  Every internal
+	// consistency check in the workloads funnels through here, mirroring
+	// the "print error messages to console and abort" behaviour §5.1
+	// describes for NAMD and CAM.
+	{
+		f := m.Func("app_abort")
+		f.Movi(isa.R0, abi.FdStderr)
+		f.Ld(isa.R1, isa.SP, 4)
+		f.Ld(isa.R2, isa.SP, 8)
+		f.Sys(abi.SysWrite)
+		f.Movi(isa.R0, abi.ExitAppDetected)
+		f.Sys(abi.SysAbort)
+		f.Ret() // unreachable
+	}
+
+	// fchecknan(f64addr, msgAddr, msgLen): NaN/Inf consistency check —
+	// the guard NAMD and CAM apply to key variables (§6.2).
+	{
+		f := m.Func("fchecknan")
+		f.Prologue(0)
+		f.LdArg(isa.R0, 0)
+		f.Fld(isa.R0, 0)
+		f.Fxam()
+		bad := f.NewLabel()
+		ok := f.NewLabel()
+		f.Beq(bad)
+		f.Fstp(isa.R0, 0) // pop (store back unchanged)
+		f.Jmp(ok)
+		f.Label(bad)
+		f.LdArg(isa.R1, 1)
+		f.LdArg(isa.R2, 2)
+		f.CallArgs("app_abort", asm.Reg(isa.R1), asm.Reg(isa.R2))
+		f.Label(ok)
+		f.Epilogue()
+	}
+
+	return m
+}

@@ -1,0 +1,88 @@
+// Package guest provides the guest-side runtime libraries that every
+// workload links against: a small libc (memory, console, abort) and the
+// MPI library stubs.
+//
+// The MPI stubs live in a module flagged image.OwnerMPI.  Their text,
+// data and BSS symbols are therefore excluded from the fault injector's
+// dictionary, reproducing the paper's separation between user-application
+// and MPI-library memory (§3.2).  The libc is part of the application, as
+// a statically linked C library would be.
+package guest
+
+import (
+	"mpifault/internal/abi"
+	"mpifault/internal/asm"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// mpiStub emits one MPI wrapper function: it marshals its C-convention
+// stack arguments into the syscall ABI (r0-r3 plus pushed extras) and
+// issues the SYS instruction.  This is the analogue of the paper's PMPI
+// wrapper functions — the seam between application and library.
+func mpiStub(m *asm.Module, name string, sysnum int32, nargs int) {
+	f := m.Func(name)
+	extras := nargs - 4
+	if extras < 0 {
+		extras = 0
+	}
+	// Push arguments 5..nargs in reverse so argument 5 ends at [sp].
+	// While k pushes have been done, caller argument i (0-based) sits at
+	// [sp + 4 + 4i + 4k] (the +4 skips the return address).
+	k := int32(0)
+	for i := nargs - 1; i >= 4; i-- {
+		f.Ld(isa.R4, isa.SP, 4+4*int32(i)+4*k)
+		f.Push(isa.R4)
+		k++
+	}
+	for j := 0; j < 4 && j < nargs; j++ {
+		f.Ld(j, isa.SP, 4+4*int32(j)+4*k)
+	}
+	// Track library-internal state so the MPI module owns live data; the
+	// fault dictionary must have something real to exclude.
+	f.LdSym(isa.R4, "__mpi_calls", 0)
+	f.Addi(isa.R4, isa.R4, 1)
+	f.StSym("__mpi_calls", 0, isa.R4)
+	f.Sys(sysnum)
+	if extras > 0 {
+		f.Addi(isa.SP, isa.SP, 4*int32(extras))
+	}
+	f.Ret()
+}
+
+// AddLibMPI adds the guest MPI library module to the builder.
+func AddLibMPI(b *asm.Builder) *asm.Module {
+	m := b.Module("libmpi", image.OwnerMPI)
+
+	// Library-internal state (MPI-owned data/BSS, excluded from user
+	// injection just like MPICH's own globals).
+	m.DataI32("__mpi_state", 0)
+	m.BSS("__mpi_calls", 4)
+	m.BSS("__mpi_scratch", 64)
+
+	mpiStub(m, "MPI_Init", abi.SysMPIInit, 0)
+	mpiStub(m, "MPI_Finalize", abi.SysMPIFinalize, 0)
+	mpiStub(m, "MPI_Comm_rank", abi.SysMPICommRank, 1)
+	mpiStub(m, "MPI_Comm_size", abi.SysMPICommSize, 1)
+	mpiStub(m, "MPI_Send", abi.SysMPISend, 6)
+	mpiStub(m, "MPI_Recv", abi.SysMPIRecv, 7)
+	mpiStub(m, "MPI_Barrier", abi.SysMPIBarrier, 1)
+	mpiStub(m, "MPI_Bcast", abi.SysMPIBcast, 5)
+	mpiStub(m, "MPI_Reduce", abi.SysMPIReduce, 7)
+	mpiStub(m, "MPI_Allreduce", abi.SysMPIAllreduce, 6)
+	mpiStub(m, "MPI_Gather", abi.SysMPIGather, 6)
+	mpiStub(m, "MPI_Allgather", abi.SysMPIAllgather, 5)
+	mpiStub(m, "MPI_Scatter", abi.SysMPIScatter, 6)
+	mpiStub(m, "MPI_Alltoall", abi.SysMPIAlltoall, 5)
+	mpiStub(m, "MPI_Errhandler_set", abi.SysMPIErrhandlerSet, 2)
+	mpiStub(m, "MPI_Wtime", abi.SysMPIWtime, 1)
+	mpiStub(m, "MPI_Isend", abi.SysMPIIsend, 7)
+	mpiStub(m, "MPI_Irecv", abi.SysMPIIrecv, 7)
+	mpiStub(m, "MPI_Wait", abi.SysMPIWait, 2)
+	mpiStub(m, "MPI_Waitall", abi.SysMPIWaitall, 3)
+	mpiStub(m, "MPI_Sendrecv", abi.SysMPISendrecv, 11)
+	mpiStub(m, "MPI_Comm_split", abi.SysMPICommSplit, 4)
+	mpiStub(m, "MPI_Comm_dup", abi.SysMPICommDup, 2)
+
+	return m
+}

@@ -1,0 +1,127 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Instr is a decoded instruction.  Rd/Ra/Rb/Rc are raw operand bytes; the
+// interpreter validates them at execution time so that bit flips in the
+// text segment can select nonexistent registers and fault, as on real
+// hardware.
+type Instr struct {
+	Op  Op
+	Rd  uint8 // destination register byte
+	Ra  uint8 // first source / base register byte
+	Rb  uint8 // second source / index register byte (RegNone = absent)
+	Imm int32 // immediate / absolute branch target / displacement
+}
+
+// Note on operand packing: the encoding carries exactly three register
+// bytes.  Register-register-register forms use (Rd, Ra, Rb).  Store forms
+// need (base, index, source); they pack the source register in the Rd slot,
+// which the store accessors below paper over.
+
+// Rc returns the store-source register byte (stores reuse the Rd slot).
+func (i Instr) Rc() uint8 { return i.Rd }
+
+// SetRc sets the store-source register byte.
+func (i *Instr) SetRc(r uint8) { i.Rd = r }
+
+// Encode writes the 8-byte encoding of i into b, which must have room for
+// InstrBytes bytes.
+func (i Instr) Encode(b []byte) {
+	b[0] = byte(i.Op)
+	b[1] = i.Rd
+	b[2] = i.Ra
+	b[3] = i.Rb
+	binary.LittleEndian.PutUint32(b[4:8], uint32(i.Imm))
+}
+
+// Bytes returns the 8-byte encoding of i.
+func (i Instr) Bytes() []byte {
+	b := make([]byte, InstrBytes)
+	i.Encode(b)
+	return b
+}
+
+// Decode interprets the first InstrBytes bytes of b as an instruction.
+// Decode never fails: invalid opcodes decode to an Instr whose Op fails
+// Valid(), and the interpreter raises SIGILL when executing it.
+func Decode(b []byte) Instr {
+	return Instr{
+		Op:  Op(b[0]),
+		Rd:  b[1],
+		Ra:  b[2],
+		Rb:  b[3],
+		Imm: int32(binary.LittleEndian.Uint32(b[4:8])),
+	}
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	if !i.Op.Valid() {
+		return fmt.Sprintf("invalid(0x%02x)", uint8(i.Op))
+	}
+	info := opTable[i.Op]
+	s := info.name
+	switch {
+	case info.memForm:
+		idx := ""
+		if i.Rb != RegNone {
+			idx = "+" + regName(i.Rb)
+		}
+		var addr string
+		if i.Ra == RegNone && i.Rb == RegNone {
+			// Absolute addressing: print like a linked address.
+			addr = fmt.Sprintf("[0x%08x]", uint32(i.Imm))
+		} else {
+			addr = fmt.Sprintf("[%s%s%+d]", regName(i.Ra), idx, i.Imm)
+		}
+		switch i.Op {
+		case OpLd, OpLdb:
+			s += " " + regName(i.Rd) + ", " + addr
+		case OpSt, OpStb:
+			s += " " + addr + ", " + regName(i.Rc())
+		default: // fld/fst/fstp
+			s += " " + addr
+		}
+	case i.Op == OpSys:
+		s += fmt.Sprintf(" %d", i.Imm)
+	case i.Op.IsBranch():
+		s += fmt.Sprintf(" 0x%08x", uint32(i.Imm))
+	default:
+		first := true
+		emit := func(t string) {
+			if first {
+				s += " " + t
+				first = false
+			} else {
+				s += ", " + t
+			}
+		}
+		if info.hasRd {
+			emit(regName(i.Rd))
+		}
+		if info.hasRa {
+			emit(regName(i.Ra))
+		}
+		if info.hasRb {
+			emit(regName(i.Rb))
+		}
+		if info.hasImm {
+			emit(fmt.Sprintf("%d", i.Imm))
+		}
+	}
+	return s
+}
+
+func regName(r uint8) string {
+	if r == RegNone {
+		return "none"
+	}
+	if int(r) < NumGPR {
+		return GPRName(int(r))
+	}
+	return fmt.Sprintf("r%d?", r)
+}

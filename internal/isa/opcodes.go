@@ -1,0 +1,203 @@
+package isa
+
+// Op is an instruction opcode.  Opcode 0 is deliberately invalid so that a
+// control-flow transfer into zero-initialized memory traps immediately with
+// an illegal-instruction fault, as it typically would on real hardware.
+type Op uint8
+
+const (
+	OpInvalid Op = iota // never generated; executing it raises SIGILL
+
+	// Data movement.
+	OpNop  // no operation
+	OpMovi // rd = imm
+	OpMovr // rd = ra
+
+	// Integer ALU, register forms: rd = ra <op> rb.
+	OpAdd
+	OpSub
+	OpMul
+	OpDivs // signed divide; divisor 0 raises SIGFPE
+	OpRems // signed remainder; divisor 0 raises SIGFPE
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // shift count taken mod 32
+	OpShr // logical right shift
+	OpSar // arithmetic right shift
+	OpNeg // rd = -ra
+
+	// Integer ALU, immediate forms: rd = ra <op> imm.
+	OpAddi
+	OpMuli
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+	OpSari
+
+	// Comparison: set flags from ra vs rb (or imm).
+	OpCmp
+	OpCmpi
+
+	// Control flow.  Targets are absolute addresses in imm.
+	OpJmp
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBle
+	OpBgt
+	OpBltu
+	OpBgeu
+	OpBun   // branch if unordered (NaN seen by FCOMPP/FXAM)
+	OpCall  // push return address, jump to imm
+	OpCallr // push return address, jump to ra
+	OpRet   // pop return address, jump
+
+	// Stack.
+	OpPush // push ra
+	OpPop  // pop into rd
+
+	// Memory.  Effective address = ra + index(rb) + imm, where the index
+	// register byte may be RegNone.
+	OpLd  // rd = 32-bit load
+	OpSt  // 32-bit store of rc
+	OpLdb // rd = zero-extended byte load
+	OpStb // byte store of rc (low 8 bits)
+
+	// x87-style floating-point stack.  st0 is the top of stack.
+	OpFld   // push f64 from [ra + index(rb) + imm]
+	OpFldz  // push +0.0
+	OpFld1  // push 1.0
+	OpFldst // push a copy of st(imm)
+	OpFst   // store st0 to [ra + index(rb) + imm]
+	OpFstp  // store st0 and pop
+	OpFaddp // st1 += st0; pop
+	OpFsubp // st1 -= st0; pop
+	OpFmulp // st1 *= st0; pop
+	OpFdivp // st1 /= st0; pop (IEEE semantics: /0 gives ±Inf, no trap)
+	OpFchs  // st0 = -st0
+	OpFabs  // st0 = |st0|
+	OpFsqrt // st0 = sqrt(st0); negative operand yields NaN
+	OpFxch  // exchange st0 and st(imm)
+	OpFcomp // compare st0 with st1, set flags, pop both (x87 FCOMPP)
+	OpFxam  // set FlagZ if st0 is NaN or ±Inf, FlagUN if NaN
+	OpFild  // push float64(int32(ra))
+	OpFist  // rd = int32(st0) (truncated); pop; NaN/overflow store MinInt32
+
+	// System call: number in imm, arguments in r0..r3, result in r0.
+	OpSys
+
+	opMax // sentinel; not a real opcode
+)
+
+// NumOpcodes is the number of defined opcodes (including OpInvalid).
+const NumOpcodes = int(opMax)
+
+// InstrBytes is the fixed size of an encoded instruction.
+const InstrBytes = 8
+
+// opInfo describes an opcode for the assembler, disassembler and verifier.
+type opInfo struct {
+	name string
+	// operand usage flags, used by the disassembler and by property tests.
+	hasRd, hasRa, hasRb, hasRc bool
+	hasImm                     bool
+	memForm                    bool // uses the ra+index(rb)+imm address form
+}
+
+var opTable = [opMax]opInfo{
+	OpInvalid: {name: "invalid"},
+	OpNop:     {name: "nop"},
+	OpMovi:    {name: "movi", hasRd: true, hasImm: true},
+	OpMovr:    {name: "movr", hasRd: true, hasRa: true},
+	OpAdd:     {name: "add", hasRd: true, hasRa: true, hasRb: true},
+	OpSub:     {name: "sub", hasRd: true, hasRa: true, hasRb: true},
+	OpMul:     {name: "mul", hasRd: true, hasRa: true, hasRb: true},
+	OpDivs:    {name: "divs", hasRd: true, hasRa: true, hasRb: true},
+	OpRems:    {name: "rems", hasRd: true, hasRa: true, hasRb: true},
+	OpAnd:     {name: "and", hasRd: true, hasRa: true, hasRb: true},
+	OpOr:      {name: "or", hasRd: true, hasRa: true, hasRb: true},
+	OpXor:     {name: "xor", hasRd: true, hasRa: true, hasRb: true},
+	OpShl:     {name: "shl", hasRd: true, hasRa: true, hasRb: true},
+	OpShr:     {name: "shr", hasRd: true, hasRa: true, hasRb: true},
+	OpSar:     {name: "sar", hasRd: true, hasRa: true, hasRb: true},
+	OpNeg:     {name: "neg", hasRd: true, hasRa: true},
+	OpAddi:    {name: "addi", hasRd: true, hasRa: true, hasImm: true},
+	OpMuli:    {name: "muli", hasRd: true, hasRa: true, hasImm: true},
+	OpAndi:    {name: "andi", hasRd: true, hasRa: true, hasImm: true},
+	OpOri:     {name: "ori", hasRd: true, hasRa: true, hasImm: true},
+	OpXori:    {name: "xori", hasRd: true, hasRa: true, hasImm: true},
+	OpShli:    {name: "shli", hasRd: true, hasRa: true, hasImm: true},
+	OpShri:    {name: "shri", hasRd: true, hasRa: true, hasImm: true},
+	OpSari:    {name: "sari", hasRd: true, hasRa: true, hasImm: true},
+	OpCmp:     {name: "cmp", hasRa: true, hasRb: true},
+	OpCmpi:    {name: "cmpi", hasRa: true, hasImm: true},
+	OpJmp:     {name: "jmp", hasImm: true},
+	OpBeq:     {name: "beq", hasImm: true},
+	OpBne:     {name: "bne", hasImm: true},
+	OpBlt:     {name: "blt", hasImm: true},
+	OpBge:     {name: "bge", hasImm: true},
+	OpBle:     {name: "ble", hasImm: true},
+	OpBgt:     {name: "bgt", hasImm: true},
+	OpBltu:    {name: "bltu", hasImm: true},
+	OpBgeu:    {name: "bgeu", hasImm: true},
+	OpBun:     {name: "bun", hasImm: true},
+	OpCall:    {name: "call", hasImm: true},
+	OpCallr:   {name: "callr", hasRa: true},
+	OpRet:     {name: "ret"},
+	OpPush:    {name: "push", hasRa: true},
+	OpPop:     {name: "pop", hasRd: true},
+	OpLd:      {name: "ld", hasRd: true, hasRa: true, hasRb: true, hasImm: true, memForm: true},
+	OpSt:      {name: "st", hasRa: true, hasRb: true, hasRc: true, hasImm: true, memForm: true},
+	OpLdb:     {name: "ldb", hasRd: true, hasRa: true, hasRb: true, hasImm: true, memForm: true},
+	OpStb:     {name: "stb", hasRa: true, hasRb: true, hasRc: true, hasImm: true, memForm: true},
+	OpFld:     {name: "fld", hasRa: true, hasRb: true, hasImm: true, memForm: true},
+	OpFldz:    {name: "fldz"},
+	OpFld1:    {name: "fld1"},
+	OpFldst:   {name: "fldst", hasImm: true},
+	OpFst:     {name: "fst", hasRa: true, hasRb: true, hasImm: true, memForm: true},
+	OpFstp:    {name: "fstp", hasRa: true, hasRb: true, hasImm: true, memForm: true},
+	OpFaddp:   {name: "faddp"},
+	OpFsubp:   {name: "fsubp"},
+	OpFmulp:   {name: "fmulp"},
+	OpFdivp:   {name: "fdivp"},
+	OpFchs:    {name: "fchs"},
+	OpFabs:    {name: "fabs"},
+	OpFsqrt:   {name: "fsqrt"},
+	OpFxch:    {name: "fxch", hasImm: true},
+	OpFcomp:   {name: "fcomp"},
+	OpFxam:    {name: "fxam"},
+	OpFild:    {name: "fild", hasRa: true},
+	OpFist:    {name: "fist", hasRd: true},
+	OpSys:     {name: "sys", hasImm: true},
+}
+
+// Valid reports whether op is a defined, executable opcode.
+func (op Op) Valid() bool {
+	return op > OpInvalid && op < opMax
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (op Op) String() string {
+	if int(op) < len(opTable) && opTable[op].name != "" {
+		return opTable[op].name
+	}
+	return "op?"
+}
+
+// IsBranch reports whether op transfers control via its immediate.
+func (op Op) IsBranch() bool {
+	switch op {
+	case OpJmp, OpBeq, OpBne, OpBlt, OpBge, OpBle, OpBgt, OpBltu, OpBgeu, OpBun, OpCall:
+		return true
+	}
+	return false
+}
+
+// IsMemForm reports whether op addresses memory as ra + index(rb) + imm.
+func (op Op) IsMemForm() bool {
+	return op.Valid() && opTable[op].memForm
+}

@@ -1,0 +1,162 @@
+// Package mpi implements the host-side MPI runtime the guest applications
+// call into, structured after MPICH's three layers (Figure 2 of the
+// paper):
+//
+//   - API: argument validation and error-handler dispatch (the only place
+//     MPICH, LAM and LA-MPI raise user error handlers — §6.2);
+//   - ADI: message matching, the unexpected-message queue, eager and
+//     rendezvous protocols, and collectives built on point-to-point;
+//   - Channel: byte-level packet framing over per-rank in-process streams,
+//     standing in for ch_p4 over TCP.
+//
+// Every message a rank receives crosses the Channel layer as a raw byte
+// slice.  The fault injector's hook runs on that slice immediately after
+// it is read and before it is parsed — the precise injection point of
+// §3.3 ("immediately after MPICH invokes the recv socket routine").
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Packet kinds at the Channel level.  RTS/CTS/Barrier are control
+// messages (header only); Eager/RdvData carry user payload.  The paper's
+// Table 1 classifies traffic with exactly this control/data split.
+const (
+	KindEager   = 1 // eager data message
+	KindRTS     = 2 // rendezvous request-to-send (control)
+	KindCTS     = 3 // rendezvous clear-to-send (control)
+	KindRdvData = 4 // rendezvous data message
+	KindBarrier = 5 // barrier/dissemination token (control)
+)
+
+// HeaderBytes is the fixed Channel-level header size.  MPICH's ch_p4
+// headers are 32-64 bytes (§4.2); we use 48.
+const HeaderBytes = 48
+
+// packetMagic guards framing integrity, standing in for ch_p4's internal
+// consistency fields.
+const packetMagic = 0x4D504948 // "MPIH"
+
+// Packet is a parsed Channel-level message.
+type Packet struct {
+	Kind    uint8
+	Src     int32
+	Dst     int32
+	Tag     int32
+	Comm    int32
+	Seq     uint32 // rendezvous sequence number
+	Dtype   int32  // payload datatype (for reduction ops and profiling)
+	Len     uint32 // payload length in bytes
+	Payload []byte
+}
+
+// IsControl reports whether the packet is header-only control traffic.
+func (p *Packet) IsControl() bool {
+	return p.Kind == KindRTS || p.Kind == KindCTS || p.Kind == KindBarrier
+}
+
+// Marshal serializes the packet: a 48-byte header followed by the payload.
+//
+// Header layout (little-endian):
+//
+//	 0  magic   u32
+//	 4  kind    u8   (3 bytes pad)
+//	 8  src     i32
+//	12  dst     i32
+//	16  tag     i32
+//	20  comm    i32
+//	24  seq     u32
+//	28  dtype   i32
+//	32  len     u32
+//	36  reserved (12 bytes)
+func (p *Packet) Marshal() []byte {
+	b := make([]byte, HeaderBytes+len(p.Payload))
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], packetMagic)
+	b[4] = p.Kind
+	le.PutUint32(b[8:], uint32(p.Src))
+	le.PutUint32(b[12:], uint32(p.Dst))
+	le.PutUint32(b[16:], uint32(p.Tag))
+	le.PutUint32(b[20:], uint32(p.Comm))
+	le.PutUint32(b[24:], p.Seq)
+	le.PutUint32(b[28:], uint32(p.Dtype))
+	le.PutUint32(b[32:], uint32(len(p.Payload)))
+	copy(b[HeaderBytes:], p.Payload)
+	return b
+}
+
+// ParsePacket validates and decodes a received byte stream, with failure
+// semantics modelled on ch_p4 over a stream socket:
+//
+//   - a corrupted type/magic field, an unknown message kind, or a source
+//     rank outside the matching tables is an immediate library error —
+//     MPICH aborts (the paper's Crash manifestation);
+//   - the destination field is *not* validated: on a point-to-point
+//     socket the receiver is implicit, so flips there are benign;
+//   - a length field larger than the bytes actually framed makes the
+//     stream reader wait for data that never comes — the packet (and
+//     message) is silently lost (drop=true), which surfaces as a Hang;
+//   - a length field smaller than the framed bytes leaves garbage in the
+//     stream, an unrecoverable desync — a library error.
+//
+// Matching-only fields (tag, comm, seq) are deliberately not validated:
+// corrupting them silently loses the message.
+func ParsePacket(b []byte, self, worldSize int) (p *Packet, drop bool, err error) {
+	if len(b) < HeaderBytes {
+		return nil, false, fmt.Errorf("short packet: %d bytes", len(b))
+	}
+	le := binary.LittleEndian
+	if m := le.Uint32(b[0:]); m != packetMagic {
+		return nil, false, fmt.Errorf("bad packet type word 0x%08x", m)
+	}
+	p = &Packet{
+		Kind:  b[4],
+		Src:   int32(le.Uint32(b[8:])),
+		Dst:   int32(le.Uint32(b[12:])),
+		Tag:   int32(le.Uint32(b[16:])),
+		Comm:  int32(le.Uint32(b[20:])),
+		Seq:   le.Uint32(b[24:]),
+		Dtype: int32(le.Uint32(b[28:])),
+		Len:   le.Uint32(b[32:]),
+	}
+	switch p.Kind {
+	case KindEager, KindRTS, KindCTS, KindRdvData, KindBarrier:
+	default:
+		return nil, false, fmt.Errorf("unknown packet kind %d", p.Kind)
+	}
+	if p.Src < 0 || int(p.Src) >= worldSize {
+		return nil, false, fmt.Errorf("source rank %d out of range", p.Src)
+	}
+	framed := len(b) - HeaderBytes
+	if int64(p.Len) > int64(framed) {
+		return nil, true, nil // stream starved: message silently lost
+	}
+	if int(p.Len) < framed {
+		return nil, false, fmt.Errorf("stream desync: length field %d under frames %d bytes",
+			p.Len, framed)
+	}
+	if p.Len > 0 {
+		p.Payload = b[HeaderBytes:]
+	}
+	return p, false, nil
+}
+
+// sysTag returns an internal tag for collective round r of operation op.
+// User tags are validated to be < abi.MaxUserTag, so the ranges cannot
+// collide.
+func sysTag(op, r int32) int32 {
+	return 0x40000000 + op<<8 + r
+}
+
+// Internal collective operation identifiers for sysTag.
+const (
+	collBarrier = iota
+	collBcast
+	collReduce
+	collGather
+	collScatter
+	collAlltoall
+	collAllgather
+)

@@ -1,0 +1,115 @@
+// Package profile measures the per-process application profiles of the
+// paper's Table 1: static section sizes (the objdump/nm measurement),
+// stable heap size (the malloc-wrapper measurement), stack depth, and the
+// per-process incoming message volume with its control/data split (the
+// Channel/ADI instrumentation of §4.2).
+package profile
+
+import (
+	"fmt"
+	"time"
+
+	"mpifault/internal/cluster"
+	"mpifault/internal/image"
+	"mpifault/internal/mpi"
+	"mpifault/internal/vm"
+)
+
+// Profile is one application's Table 1 row group.
+type Profile struct {
+	App   string
+	Ranks int
+
+	// Static sections, whole image and user/MPI attribution.
+	TextBytes uint32
+	DataBytes uint32
+	BSSBytes  uint32
+	UserText  uint32
+	MPIText   uint32
+
+	// HeapStable is the per-process user heap high-water mark (the
+	// paper's "stable size" the heap grows to); MPIHeap is the runtime's
+	// own buffering, tagged ChunkMPI by the allocator.
+	HeapStable uint32
+	MPIHeap    uint32
+
+	// StackBytes is the deepest observed stack extent.
+	StackBytes uint32
+
+	// Per-process incoming message volume across ranks.
+	MsgBytesMin uint64
+	MsgBytesMax uint64
+	// HeaderPct and UserPct split total received volume (Table 1's
+	// "Distribution": header vs user payload).
+	HeaderPct float64
+	UserPct   float64
+	// ControlMsgs and DataMsgs count received Channel packets by class.
+	ControlMsgs uint64
+	DataMsgs    uint64
+
+	// GoldenInstrs is the largest per-rank retired-instruction count —
+	// the execution-time axis used to schedule injections.
+	GoldenInstrs uint64
+}
+
+// Measure executes one fault-free run and assembles the profile.
+func Measure(name string, im *image.Image, ranks int, cfg mpi.Config) (*Profile, error) {
+	res := cluster.Run(cluster.Job{
+		Image: im, Size: ranks, MPIConfig: cfg, WallLimit: 30 * time.Second,
+	})
+	if res.HangDetected {
+		return nil, fmt.Errorf("profile: golden run hung: %s", res.HangCause)
+	}
+	p := &Profile{
+		App:       name,
+		Ranks:     ranks,
+		TextBytes: uint32(len(im.Text)),
+		DataBytes: uint32(len(im.Data)),
+		BSSBytes:  im.BSSSize,
+	}
+	for _, s := range im.Symbols {
+		if s.Kind == image.SymFunc {
+			if s.Owner == image.OwnerUser {
+				p.UserText += s.Size
+			} else {
+				p.MPIText += s.Size
+			}
+		}
+	}
+
+	var hdr, payload uint64
+	p.MsgBytesMin = ^uint64(0)
+	for r, rr := range res.Ranks {
+		if rr.Trap == nil || rr.Trap.Kind != vm.TrapExit {
+			return nil, fmt.Errorf("profile: rank %d did not exit cleanly: %v", r, rr.Trap)
+		}
+		if rr.HeapPeakUser > p.HeapStable {
+			p.HeapStable = rr.HeapPeakUser
+		}
+		if rr.HeapPeakMPI > p.MPIHeap {
+			p.MPIHeap = rr.HeapPeakMPI
+		}
+		if d := image.StackTop - rr.MinSP; d > p.StackBytes {
+			p.StackBytes = d
+		}
+		if rr.Instrs > p.GoldenInstrs {
+			p.GoldenInstrs = rr.Instrs
+		}
+		tot := rr.Stats.TotalBytes()
+		if tot < p.MsgBytesMin {
+			p.MsgBytesMin = tot
+		}
+		if tot > p.MsgBytesMax {
+			p.MsgBytesMax = tot
+		}
+		hdr += rr.Stats.HeaderBytes
+		payload += rr.Stats.PayloadBytes
+		p.ControlMsgs += rr.Stats.ControlMsgs
+		p.DataMsgs += rr.Stats.DataMsgs
+	}
+	if hdr+payload > 0 {
+		p.HeaderPct = 100 * float64(hdr) / float64(hdr+payload)
+		p.UserPct = 100 - p.HeaderPct
+	}
+	return p, nil
+}

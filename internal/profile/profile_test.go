@@ -1,0 +1,78 @@
+package profile
+
+import (
+	"testing"
+
+	"mpifault/internal/apps"
+	"mpifault/internal/mpi"
+)
+
+func TestMeasureWavetoy(t *testing.T) {
+	a, err := apps.Get("wavetoy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := a.Build(a.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Measure("wavetoy", im, a.Default.Ranks, mpi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TextBytes == 0 || p.DataBytes == 0 || p.BSSBytes == 0 {
+		t.Fatalf("static sections empty: %+v", p)
+	}
+	if p.UserText+p.MPIText != p.TextBytes {
+		t.Fatalf("user %d + mpi %d != text %d", p.UserText, p.MPIText, p.TextBytes)
+	}
+	if p.MPIText == 0 {
+		t.Fatal("MPI library text missing")
+	}
+	if p.HeapStable == 0 {
+		t.Fatal("no user heap recorded (wavetoy allocates its grids)")
+	}
+	if p.StackBytes == 0 {
+		t.Fatal("no stack depth recorded")
+	}
+	if p.MsgBytesMin == 0 || p.MsgBytesMax < p.MsgBytesMin {
+		t.Fatalf("message volume range [%d, %d]", p.MsgBytesMin, p.MsgBytesMax)
+	}
+	// Wavetoy must be payload-dominated (Table 1: 94% user).
+	if p.UserPct < 80 {
+		t.Fatalf("wavetoy user share %.1f%%", p.UserPct)
+	}
+	if p.HeaderPct+p.UserPct < 99.9 || p.HeaderPct+p.UserPct > 100.1 {
+		t.Fatalf("shares do not sum to 100: %v + %v", p.HeaderPct, p.UserPct)
+	}
+	if p.GoldenInstrs == 0 {
+		t.Fatal("no instruction count")
+	}
+}
+
+func TestMeasureContrastAcrossApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all three applications")
+	}
+	shares := map[string]float64{}
+	for _, name := range []string{"wavetoy", "minimd", "minicam"} {
+		a, err := apps.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := a.Build(a.Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Measure(name, im, a.Default.Ranks, mpi.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares[name] = p.HeaderPct
+	}
+	// Table 1's key contrast: CAM is control-dominated, the other two are not.
+	if shares["minicam"] < shares["wavetoy"]+20 || shares["minicam"] < shares["minimd"]+20 {
+		t.Fatalf("minicam header share %.1f%% should far exceed wavetoy %.1f%% and minimd %.1f%%",
+			shares["minicam"], shares["wavetoy"], shares["minimd"])
+	}
+}

@@ -1,0 +1,106 @@
+// Package progress implements the practical hang-detection mechanism §7
+// of the paper proposes: "simple progress metrics (e.g., FLOPS, messages
+// per second or loop iterations per minute) can provide some practical
+// detection mechanisms.  If the application's performance drops below a
+// user-defined threshold, it is very likely that the code is in a
+// non-terminating mode."
+//
+// The Monitor samples a monotone progress counter (the cluster wires it
+// to Channel-level message deliveries — "messages per second"), learns a
+// baseline rate over the first few windows, and reports a stall when the
+// observed rate falls below a configured fraction of that baseline for
+// several consecutive windows.
+package progress
+
+import (
+	"time"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// Window is the sampling period.  Default 5ms (scaled-down from the
+	// paper's minutes-scale suggestion to our milliseconds-scale runs).
+	Window time.Duration
+	// BaselineWindows is how many initial windows establish the expected
+	// rate.  Default 4.
+	BaselineWindows int
+	// Threshold is the fraction of the baseline rate below which a
+	// window counts as stalled.  Default 0.02.
+	Threshold float64
+	// Consecutive is how many stalled windows trigger the verdict.
+	// Default 3.
+	Consecutive int
+}
+
+func (c *Config) fill() {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Millisecond
+	}
+	if c.BaselineWindows <= 0 {
+		c.BaselineWindows = 4
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.02
+	}
+	if c.Consecutive <= 0 {
+		c.Consecutive = 3
+	}
+}
+
+// Monitor watches one monotone counter.
+type Monitor struct {
+	cfg    Config
+	sample func() uint64
+}
+
+// NewMonitor builds a monitor over the given monotone counter.
+func NewMonitor(cfg Config, sample func() uint64) *Monitor {
+	cfg.fill()
+	return &Monitor{cfg: cfg, sample: sample}
+}
+
+// Run watches until stop closes or a stall is detected; it returns true
+// if a stall verdict was reached.  It is intended to run on its own
+// goroutine.
+func (m *Monitor) Run(stop <-chan struct{}) bool {
+	tick := time.NewTicker(m.cfg.Window)
+	defer tick.Stop()
+
+	var (
+		last      = m.sample()
+		baseline  float64
+		nBaseline int
+		stalled   int
+	)
+	for {
+		select {
+		case <-stop:
+			return false
+		case <-tick.C:
+			cur := m.sample()
+			rate := float64(cur - last)
+			last = cur
+
+			if nBaseline < m.cfg.BaselineWindows {
+				// Learning phase: accumulate the expected per-window rate.
+				baseline += rate
+				nBaseline++
+				continue
+			}
+			expected := baseline / float64(nBaseline)
+			if expected <= 0 {
+				// The application generated no progress events at all
+				// during the learning phase; the metric is unusable.
+				return false
+			}
+			if rate < m.cfg.Threshold*expected {
+				stalled++
+				if stalled >= m.cfg.Consecutive {
+					return true
+				}
+			} else {
+				stalled = 0
+			}
+		}
+	}
+}

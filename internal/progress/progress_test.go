@@ -1,0 +1,130 @@
+package progress
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDetectsStallAfterBaseline(t *testing.T) {
+	var counter atomic.Uint64
+	stopFeeding := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopFeeding:
+				return
+			case <-tick.C:
+				counter.Add(10)
+			}
+		}
+	}()
+
+	mon := NewMonitor(Config{
+		Window:          3 * time.Millisecond,
+		BaselineWindows: 3,
+		Threshold:       0.05,
+		Consecutive:     2,
+	}, counter.Load)
+
+	stop := make(chan struct{})
+	result := make(chan bool, 1)
+	go func() { result <- mon.Run(stop) }()
+
+	// Feed progress for a while, then stall.
+	time.Sleep(30 * time.Millisecond)
+	close(stopFeeding)
+
+	select {
+	case got := <-result:
+		if !got {
+			t.Fatal("monitor returned without a stall verdict")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stall never detected")
+	}
+	close(stop)
+}
+
+func TestNoFalsePositiveWhileProgressing(t *testing.T) {
+	var counter atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				counter.Add(5)
+			}
+		}
+	}()
+
+	mon := NewMonitor(Config{
+		Window:          2 * time.Millisecond,
+		BaselineWindows: 3,
+		Threshold:       0.05,
+		Consecutive:     3,
+	}, counter.Load)
+
+	stop := make(chan struct{})
+	result := make(chan bool, 1)
+	go func() { result <- mon.Run(stop) }()
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	if got := <-result; got {
+		t.Fatal("false stall verdict on steady progress")
+	}
+	close(done)
+}
+
+func TestUnusableMetricGivesUp(t *testing.T) {
+	// A counter that never moves cannot establish a baseline; the
+	// monitor must exit false rather than flag a stall.
+	mon := NewMonitor(Config{
+		Window:          time.Millisecond,
+		BaselineWindows: 2,
+	}, func() uint64 { return 0 })
+	stop := make(chan struct{})
+	result := make(chan bool, 1)
+	go func() { result <- mon.Run(stop) }()
+	select {
+	case got := <-result:
+		if got {
+			t.Fatal("zero-baseline metric must not produce a verdict")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("monitor did not give up on an unusable metric")
+	}
+	close(stop)
+}
+
+func TestStopTerminatesRun(t *testing.T) {
+	var counter atomic.Uint64
+	mon := NewMonitor(Config{Window: time.Millisecond}, counter.Load)
+	stop := make(chan struct{})
+	result := make(chan bool, 1)
+	go func() { result <- mon.Run(stop) }()
+	close(stop)
+	select {
+	case got := <-result:
+		if got {
+			t.Fatal("stopped monitor reported a stall")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("monitor ignored stop")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fill()
+	if c.Window <= 0 || c.BaselineWindows <= 0 || c.Threshold <= 0 || c.Consecutive <= 0 {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mpifault/internal/classify"
+	"mpifault/internal/core"
+	"mpifault/internal/profile"
+	"mpifault/internal/trace"
+)
+
+func sampleResult() *core.Result {
+	res := &core.Result{}
+	for _, region := range core.Regions() {
+		t := core.Tally{Region: region, Executions: 500}
+		t.Outcomes[classify.Correct] = 400
+		t.Outcomes[classify.Crash] = 50
+		t.Outcomes[classify.Hang] = 25
+		t.Outcomes[classify.Incorrect] = 25
+		res.Tallies = append(res.Tallies, t)
+	}
+	return res
+}
+
+func TestWriteCampaignLayout(t *testing.T) {
+	var sb strings.Builder
+	WriteCampaign(&sb, "wavetoy", sampleResult())
+	out := sb.String()
+	for _, want := range []string{
+		"Fault Injection Results (wavetoy)",
+		"Regular Reg.", "FP Reg.", "BSS", "Data", "Stack", "Text", "Heap", "Message",
+		"Crash", "Hang", "Incorrect", "App Detected", "MPI Detected",
+		"20.0",             // error rate 100/500
+		"estimation error", // §4.3 banner
+		"4.4%",             // d at n=500
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCampaignCSV(t *testing.T) {
+	var sb strings.Builder
+	WriteCampaignCSV(&sb, "minimd", sampleResult())
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1+int(core.NumRegions) {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "minimd,Regular Reg.,500,100,20.00,50,25,25,0,0,400") {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+}
+
+func TestWriteProfiles(t *testing.T) {
+	var sb strings.Builder
+	p := &profile.Profile{
+		App: "wavetoy", Ranks: 8,
+		TextBytes: 10240, DataBytes: 512, BSSBytes: 2048,
+		UserText: 8192, MPIText: 2048,
+		HeapStable: 4096, StackBytes: 256,
+		MsgBytesMin: 10000, MsgBytesMax: 20000,
+		HeaderPct: 6, UserPct: 94,
+		ControlMsgs: 10, DataMsgs: 90,
+	}
+	WriteProfiles(&sb, []*profile.Profile{p})
+	out := sb.String()
+	for _, want := range []string{"Table 1", "wavetoy", "Text Size", "Heap Size", "Header %", "94"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile table missing %q", want)
+		}
+	}
+}
+
+func TestWriteWorkingSet(t *testing.T) {
+	var sb strings.Builder
+	s := &trace.Series{
+		Times:       []uint64{0, 100},
+		TextPct:     []float64{30, 10},
+		DataPct:     []float64{20, 5},
+		BSSPct:      []float64{10, 2},
+		HeapPct:     []float64{40, 30},
+		CombinedPct: []float64{28, 12},
+	}
+	WriteWorkingSet(&sb, "wavetoy", s)
+	out := sb.String()
+	if !strings.Contains(out, "block count") || !strings.Contains(out, "data+bss+heap") {
+		t.Fatalf("missing columns:\n%s", out)
+	}
+	if !strings.Contains(out, "30.0") || !strings.Contains(out, "12.0") {
+		t.Fatalf("missing values:\n%s", out)
+	}
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpifault/internal/image"
+	"mpifault/internal/rng"
+)
+
+func testImage() *image.Image {
+	return &image.Image{
+		Text:      make([]byte, 0x1000),
+		Data:      make([]byte, 0x800),
+		BSSSize:   0x800,
+		DataBase:  image.TextBase + 0x2000,
+		BSSBase:   image.TextBase + 0x3000,
+		HeapBase:  image.TextBase + 0x4000,
+		HeapLimit: image.TextBase + 0x14000,
+		StackSize: 0x10000,
+		Entry:     image.TextBase,
+	}
+}
+
+func TestWorkingSetNonIncreasing(t *testing.T) {
+	f := func(seed uint64) bool {
+		im := testImage()
+		tr := New()
+		r := rng.New(seed)
+		for i := 0; i < 2000; i++ {
+			tr.Exec(image.TextBase + uint32(r.Intn(0x1000))&^7)
+			if r.Bool() {
+				tr.Load(im.DataBase+uint32(r.Intn(0x7f8)), 8)
+			}
+		}
+		s := tr.Analyze(im, 0x1000, 16)
+		for _, series := range [][]float64{s.TextPct, s.DataPct, s.BSSPct, s.HeapPct, s.CombinedPct} {
+			for i := 1; i < len(series); i++ {
+				if series[i] > series[i-1]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInitOnlyAccessesDropOut(t *testing.T) {
+	im := testImage()
+	tr := New()
+	// Phase 1: touch all data lines once ("initialization").
+	for a := uint32(0); a < 0x800; a += 8 {
+		tr.Exec(image.TextBase) // advance time
+		tr.Load(im.DataBase+a, 8)
+	}
+	// Phase 2: long compute phase touching a single line.
+	for i := 0; i < 10000; i++ {
+		tr.Exec(image.TextBase + 8)
+		tr.Load(im.DataBase, 8)
+	}
+	s := tr.Analyze(im, 0, 8)
+	if s.DataPct[0] < 99 {
+		t.Fatalf("WSS(0) = %.1f%%, want ~100%%", s.DataPct[0])
+	}
+	mid := s.DataPct[len(s.DataPct)/2]
+	if mid > 5 {
+		t.Fatalf("compute-phase WSS = %.1f%%, want tiny (one line)", mid)
+	}
+}
+
+func TestTextAndDataBucketedBySection(t *testing.T) {
+	im := testImage()
+	tr := New()
+	tr.Exec(image.TextBase)       // text
+	tr.Load(im.DataBase, 8)       // data
+	tr.Load(im.BSSBase, 8)        // bss
+	tr.Load(im.HeapBase, 8)       // heap
+	tr.Load(image.StackTop-16, 8) // stack: not counted in any curve
+	s := tr.Analyze(im, 0x100, 2)
+	if s.TextPct[0] == 0 || s.DataPct[0] == 0 || s.BSSPct[0] == 0 || s.HeapPct[0] == 0 {
+		t.Fatalf("section bucketing failed: %+v", s)
+	}
+}
+
+func TestStoresIgnoredByDefault(t *testing.T) {
+	im := testImage()
+	tr := New()
+	tr.Exec(image.TextBase)
+	tr.Store(im.DataBase, 8)
+	s := tr.Analyze(im, 0, 2)
+	if s.DataPct[0] != 0 {
+		t.Fatal("stores must not count as data accesses (the paper traces loads)")
+	}
+	tr2 := New()
+	tr2.TrackStores = true
+	tr2.Exec(image.TextBase)
+	tr2.Store(im.DataBase, 8)
+	s2 := tr2.Analyze(im, 0, 2)
+	if s2.DataPct[0] == 0 {
+		t.Fatal("TrackStores must widen the trace")
+	}
+}
+
+func TestMultiLineLoadsSpanLines(t *testing.T) {
+	im := testImage()
+	tr := New()
+	tr.Exec(image.TextBase)
+	tr.Load(im.DataBase+4, 8) // straddles two 8-byte lines
+	s := tr.Analyze(im, 0, 2)
+	// Two lines of 0x800 bytes = 16/2048.
+	want := 100 * 16.0 / 2048.0
+	if diff := s.DataPct[0] - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("straddling load counted %.4f%%, want %.4f%%", s.DataPct[0], want)
+	}
+}
+
+func TestCombinedCurveUsesSummedDenominator(t *testing.T) {
+	im := testImage()
+	tr := New()
+	tr.Exec(image.TextBase)
+	tr.Load(im.DataBase, 8)
+	heapUsed := uint32(0x1000)
+	s := tr.Analyze(im, heapUsed, 2)
+	den := float64(len(im.Data)) + float64(im.BSSSize) + float64(heapUsed)
+	want := 100 * 8 / den
+	if diff := s.CombinedPct[0] - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("combined = %v, want %v", s.CombinedPct[0], want)
+	}
+}
+
+func TestAnalyzeMinimumSamples(t *testing.T) {
+	im := testImage()
+	tr := New()
+	tr.Exec(image.TextBase)
+	s := tr.Analyze(im, 0, 0) // clamped to 2
+	if len(s.Times) != 2 {
+		t.Fatalf("got %d samples", len(s.Times))
+	}
+}

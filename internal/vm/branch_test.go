@@ -1,0 +1,149 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"mpifault/internal/asm"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// TestBunBranchesOnNaNComparison: FCOMP against NaN sets the unordered
+// flag, and BUN takes the branch — the guest-side idiom for NaN-aware
+// comparisons.
+func TestBunBranchesOnNaNComparison(t *testing.T) {
+	im := assemble(t, func(m *asm.Module, f *asm.Func) {
+		m.BSS("out", 4)
+		m.DataF64("nanv", math.NaN())
+		m.DataF64("one", 1.0)
+		f.FldSym("one", 0)
+		f.FldSym("nanv", 0)
+		f.Fcomp()
+		un := f.NewLabel()
+		done := f.NewLabel()
+		f.Bun(un)
+		f.Movi(isa.R1, 0)
+		f.Jmp(done)
+		f.Label(un)
+		f.Movi(isa.R1, 1)
+		f.Label(done)
+		f.StSym("out", 0, isa.R1)
+	})
+	m, _ := run(t, im)
+	sym, _ := im.Lookup("out")
+	if v, _ := m.Load32(sym.Addr); v != 1 {
+		t.Fatal("BUN did not branch on an unordered comparison")
+	}
+}
+
+// TestFcompOrderedComparisons covers the three ordered outcomes.
+func TestFcompOrderedComparisons(t *testing.T) {
+	cases := []struct {
+		a, b float64 // pushed b first, a second: compares a vs b
+		want int32   // 0 less, 1 equal, 2 greater
+	}{
+		{1.0, 2.0, 0},
+		{2.0, 2.0, 1},
+		{3.5, 2.0, 2},
+	}
+	for _, c := range cases {
+		im := assemble(t, func(m *asm.Module, f *asm.Func) {
+			m.BSS("out", 4)
+			m.DataF64("av", c.a)
+			m.DataF64("bv", c.b)
+			f.FldSym("bv", 0) // st1
+			f.FldSym("av", 0) // st0
+			f.Fcomp()
+			lt, eq, done := f.NewLabel(), f.NewLabel(), f.NewLabel()
+			f.Blt(lt)
+			f.Beq(eq)
+			f.Movi(isa.R1, 2)
+			f.Jmp(done)
+			f.Label(lt)
+			f.Movi(isa.R1, 0)
+			f.Jmp(done)
+			f.Label(eq)
+			f.Movi(isa.R1, 1)
+			f.Label(done)
+			f.StSym("out", 0, isa.R1)
+		})
+		m, _ := run(t, im)
+		sym, _ := im.Lookup("out")
+		if v, _ := m.Load32(sym.Addr); int32(v) != c.want {
+			t.Fatalf("compare %v vs %v = %d, want %d", c.a, c.b, int32(v), c.want)
+		}
+	}
+}
+
+// TestByteLoadStore exercises LDB/STB zero-extension semantics.
+func TestByteLoadStore(t *testing.T) {
+	im := assemble(t, func(m *asm.Module, f *asm.Func) {
+		m.BSS("out", 4)
+		m.BSS("b", 8)
+		f.Movi(isa.R1, -1) // 0xFFFFFFFF
+		f.MoviSym(isa.R2, "b", 0)
+		f.Stb(isa.R2, -1, 0, isa.R1) // stores 0xFF
+		f.Ldb(isa.R3, isa.R2, -1, 0) // loads zero-extended
+		f.StSym("out", 0, isa.R3)
+	})
+	m, _ := run(t, im)
+	sym, _ := im.Lookup("out")
+	if v, _ := m.Load32(sym.Addr); v != 0xFF {
+		t.Fatalf("byte round trip = %#x", v)
+	}
+}
+
+// TestFPEnvLastOperandTracking: FP loads record the operand address in
+// FOO (the x87 "last operand" pointer the injector also targets).
+func TestFPEnvLastOperandTracking(t *testing.T) {
+	im := assemble(t, func(m *asm.Module, f *asm.Func) {
+		m.DataF64("v", 4.0)
+		f.FldSym("v", 0)
+		f.Fsqrt()
+		f.FstpSym("v", 0)
+	})
+	m, _ := run(t, im)
+	sym, _ := im.Lookup("v")
+	if m.FP.FOO != sym.Addr {
+		t.Fatalf("FOO = %#x, want %#x", m.FP.FOO, sym.Addr)
+	}
+	if m.FP.FIP < image.TextBase {
+		t.Fatalf("FIP = %#x", m.FP.FIP)
+	}
+	v, _ := m.LoadF64(sym.Addr)
+	if v != 2.0 {
+		t.Fatalf("sqrt(4) stored %v", v)
+	}
+}
+
+// TestCallrThroughFunctionPointer exercises indirect calls, the vector
+// through which corrupted function pointers redirect control.
+func TestCallrThroughFunctionPointer(t *testing.T) {
+	b := asm.NewBuilder()
+	m := b.Module("t", image.OwnerUser)
+	m.BSS("out", 4)
+	g := m.Func("target")
+	g.Prologue(0)
+	g.Movi(isa.R0, 99)
+	g.Epilogue()
+	f := m.Func("main")
+	f.Prologue(0)
+	f.MoviSym(isa.R1, "target", 0)
+	f.Callr(isa.R1)
+	f.StSym("out", 0, isa.R0)
+	f.Movi(isa.R0, 0)
+	f.Sys(1)
+	im, err := b.Link(asm.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, trap := run(t, im)
+	if trap.Kind != TrapExit {
+		t.Fatalf("trap = %v", trap)
+	}
+	sym, _ := im.Lookup("out")
+	if v, _ := mach.Load32(sym.Addr); v != 99 {
+		t.Fatalf("indirect call result = %d", v)
+	}
+}

@@ -1,0 +1,276 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpifault/internal/abi"
+	"mpifault/internal/asm"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+	"mpifault/internal/rng"
+)
+
+func newHeapMachine(t testing.TB) *Machine {
+	t.Helper()
+	return New(assemble(t, func(m *asm.Module, f *asm.Func) {}))
+}
+
+func TestAllocFreeBasic(t *testing.T) {
+	m := newHeapMachine(t)
+	a := m.Heap.Alloc(100, abi.ChunkUser)
+	if a == 0 {
+		t.Fatal("alloc failed")
+	}
+	if a < m.Image.HeapBase || a >= m.Image.HeapLimit {
+		t.Fatalf("chunk at %#x outside heap", a)
+	}
+	if a%8 != 0 {
+		t.Fatalf("payload %#x unaligned", a)
+	}
+	if tr := m.Heap.Free(a); tr != nil {
+		t.Fatalf("free: %v", tr)
+	}
+}
+
+func TestAllocZeroBytesStillDistinct(t *testing.T) {
+	m := newHeapMachine(t)
+	a := m.Heap.Alloc(0, abi.ChunkUser)
+	b := m.Heap.Alloc(0, abi.ChunkUser)
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("zero-size allocs: %#x, %#x", a, b)
+	}
+}
+
+func TestChunkHeadersLiveInGuestMemory(t *testing.T) {
+	m := newHeapMachine(t)
+	a := m.Heap.Alloc(64, abi.ChunkMPI)
+	hdr, ok := m.RawRead(a-8, 8)
+	if !ok {
+		t.Fatal("header unreadable")
+	}
+	tag := uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24
+	if tag != abi.ChunkMPI {
+		t.Fatalf("header tag = %#x", tag)
+	}
+}
+
+func TestFreeDetectsCorruptedHeader(t *testing.T) {
+	m := newHeapMachine(t)
+	a := m.Heap.Alloc(64, abi.ChunkUser)
+	// Corrupt the tag, as a heap fault might.
+	m.RawWrite(a-8, []byte{0xDE, 0xAD})
+	tr := m.Heap.Free(a)
+	if tr == nil || tr.Kind != TrapSegv {
+		t.Fatalf("free of corrupted chunk: %v", tr)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	m := newHeapMachine(t)
+	a := m.Heap.Alloc(64, abi.ChunkUser)
+	if tr := m.Heap.Free(a); tr != nil {
+		t.Fatal(tr)
+	}
+	if tr := m.Heap.Free(a); tr == nil {
+		t.Fatal("double free must trap")
+	}
+}
+
+func TestFreeUnallocatedDetected(t *testing.T) {
+	m := newHeapMachine(t)
+	if tr := m.Heap.Free(m.Image.HeapBase + 128); tr == nil {
+		t.Fatal("free of never-allocated address must trap")
+	}
+}
+
+func TestChunksScanFindsUserChunksOnly(t *testing.T) {
+	m := newHeapMachine(t)
+	u1 := m.Heap.Alloc(100, abi.ChunkUser)
+	mp := m.Heap.Alloc(200, abi.ChunkMPI)
+	u2 := m.Heap.Alloc(50, abi.ChunkUser)
+	chunks := m.Heap.Chunks()
+	if len(chunks) != 3 {
+		t.Fatalf("scan found %d chunks", len(chunks))
+	}
+	var userBytes, mpiBytes uint32
+	for _, c := range chunks {
+		if !c.Valid {
+			t.Fatalf("chunk %#x invalid", c.Payload)
+		}
+		switch c.Tag {
+		case abi.ChunkUser:
+			userBytes += c.Size
+		case abi.ChunkMPI:
+			mpiBytes += c.Size
+		}
+	}
+	// Sizes are 8-byte-aligned payload extents: 104+56 and 200.
+	if userBytes != 160 || mpiBytes != 200 {
+		t.Fatalf("user=%d mpi=%d", userBytes, mpiBytes)
+	}
+	_ = u1
+	_ = mp
+	_ = u2
+}
+
+func TestCorruptedTagVisibleToScan(t *testing.T) {
+	m := newHeapMachine(t)
+	a := m.Heap.Alloc(64, abi.ChunkUser)
+	m.RawWrite(a-8, []byte{1, 2, 3, 4})
+	chunks := m.Heap.Chunks()
+	if len(chunks) != 1 || chunks[0].Valid {
+		t.Fatalf("scan should report the chunk as invalid: %+v", chunks)
+	}
+}
+
+func TestReuseAfterFree(t *testing.T) {
+	m := newHeapMachine(t)
+	a := m.Heap.Alloc(256, abi.ChunkUser)
+	m.Heap.Free(a)
+	b := m.Heap.Alloc(256, abi.ChunkUser)
+	if b != a {
+		t.Fatalf("first-fit should reuse the freed chunk: %#x vs %#x", a, b)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	m := newHeapMachine(t)
+	a := m.Heap.Alloc(100, abi.ChunkUser)
+	b := m.Heap.Alloc(100, abi.ChunkUser)
+	c := m.Heap.Alloc(100, abi.ChunkUser)
+	m.Heap.Free(a)
+	m.Heap.Free(b) // coalesces with a
+	// A chunk spanning both freed regions must fit without growing brk.
+	brk := m.Heap.Brk()
+	d := m.Heap.Alloc(200, abi.ChunkUser)
+	if d == 0 {
+		t.Fatal("alloc failed")
+	}
+	if m.Heap.Brk() != brk {
+		t.Fatal("allocation should have been satisfied from the coalesced free spans")
+	}
+	_ = c
+}
+
+func TestExhaustionReturnsZero(t *testing.T) {
+	m := newHeapMachine(t)
+	if a := m.Heap.Alloc(1<<21, abi.ChunkUser); a != 0 { // heap is 1 MiB here
+		t.Fatalf("oversized alloc returned %#x", a)
+	}
+}
+
+func TestPeakAccounting(t *testing.T) {
+	m := newHeapMachine(t)
+	a := m.Heap.Alloc(1000, abi.ChunkUser)
+	b := m.Heap.Alloc(2000, abi.ChunkUser)
+	m.Heap.Free(a)
+	m.Heap.Free(b)
+	if m.Heap.PeakUser < 3000 {
+		t.Fatalf("peak user = %d", m.Heap.PeakUser)
+	}
+	if m.Heap.LiveBytes(abi.ChunkUser) != 0 {
+		t.Fatalf("live after free = %d", m.Heap.LiveBytes(abi.ChunkUser))
+	}
+}
+
+// TestAllocatorInvariantsProperty exercises random alloc/free sequences:
+// payloads never overlap, all stay in the heap, and frees succeed.
+func TestAllocatorInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := newHeapMachine(t)
+		r := rng.New(seed)
+		type chunk struct{ addr, size uint32 }
+		var live []chunk
+		for i := 0; i < 200; i++ {
+			if len(live) > 0 && r.Bool() {
+				k := r.Intn(len(live))
+				if tr := m.Heap.Free(live[k].addr); tr != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			size := uint32(r.Intn(2000) + 1)
+			tag := uint32(abi.ChunkUser)
+			if r.Bool() {
+				tag = abi.ChunkMPI
+			}
+			a := m.Heap.Alloc(size, tag)
+			if a == 0 {
+				continue // exhaustion is legal
+			}
+			// No overlap with any live chunk (including headers).
+			for _, c := range live {
+				if a < c.addr+c.size && c.addr < a+size+8 {
+					return false
+				}
+			}
+			live = append(live, chunk{a, size})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkFramesFindsUserFrames(t *testing.T) {
+	// Build main -> leaf and capture the walk at the deepest point via a
+	// syscall-triggered inspection.
+	b := asm.NewBuilder()
+	m := b.Module("t", image.OwnerUser)
+	leaf := m.Func("leaf")
+	leaf.Prologue(8)
+	leaf.Sys(1000) // inspection point
+	leaf.Epilogue()
+	f := m.Func("main")
+	f.Prologue(0)
+	f.CallArgs("leaf", asm.Imm(1), asm.Imm(2))
+	f.Movi(isa.R0, 0)
+	f.Sys(abi.SysExit)
+	im, err := b.Link(asm.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := New(im)
+	var frames []Frame
+	mach.Handler = syscallFunc(func(m *Machine, num int32) *Trap {
+		if num == 1000 {
+			frames = m.WalkFrames()
+			return nil
+		}
+		return &Trap{Kind: TrapExit, PC: m.PC}
+	})
+	mach.Run(100_000)
+	if len(frames) < 2 {
+		t.Fatalf("walk found %d frames, want >= 2 (leaf, main)", len(frames))
+	}
+	for i, fr := range frames {
+		if !fr.UserContext {
+			t.Errorf("frame %d (ret %#x) not user context", i, fr.RetAddr)
+		}
+	}
+	// Frames must be ordered toward the stack base.
+	for i := 1; i < len(frames); i++ {
+		if frames[i].FP <= frames[i-1].FP {
+			t.Fatal("frame pointers not monotonically increasing")
+		}
+	}
+}
+
+type syscallFunc func(m *Machine, num int32) *Trap
+
+func (f syscallFunc) Syscall(m *Machine, num int32) *Trap { return f(m, num) }
+
+func TestWalkFramesStopsOnCorruption(t *testing.T) {
+	m := newHeapMachine(t)
+	// Forge a frame chain then corrupt it; the walk must terminate.
+	m.Regs[isa.FP] = image.StackTop - 64
+	m.Store32(image.StackTop-64, 0x12)       // saved FP: below current -> stop
+	m.Store32(image.StackTop-60, 0xDEADBEEF) // ret addr: nonsense
+	frames := m.WalkFrames()
+	if len(frames) > 1 {
+		t.Fatalf("walk of corrupted chain returned %d frames", len(frames))
+	}
+}

@@ -1,0 +1,448 @@
+// Package vm implements the simulated 32-bit machine that executes guest
+// MPI processes.
+//
+// One Machine models one MPI process: an x86-32-style register file
+// (including the x87-like floating-point stack and its environment
+// registers), a Linux-style segmented address space, and an interpreter
+// with precise traps.  The fault injector manipulates Machine state
+// directly — flipping bits in registers, segment bytes, heap chunks and
+// stack frames — and the machine's semantics turn those flips into the
+// behaviours the paper observes: segmentation faults, illegal
+// instructions, NaN propagation, silent data corruption and livelock.
+package vm
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// TrapKind enumerates why execution stopped abnormally.
+type TrapKind uint8
+
+const (
+	TrapNone       TrapKind = iota
+	TrapSegv                // SIGSEGV: unmapped or protected address
+	TrapIll                 // SIGILL: invalid opcode or register encoding
+	TrapFpe                 // SIGFPE: integer divide error
+	TrapExit                // guest called exit()
+	TrapAbort               // guest called abort() after an internal check failed
+	TrapMPIFatal            // fatal error inside the MPI runtime (MPICH aborts)
+	TrapMPIHandler          // user-registered MPI error handler was invoked
+	TrapKilled              // terminated by the harness (another rank failed / hang verdict)
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapSegv:
+		return "SIGSEGV"
+	case TrapIll:
+		return "SIGILL"
+	case TrapFpe:
+		return "SIGFPE"
+	case TrapExit:
+		return "exit"
+	case TrapAbort:
+		return "abort"
+	case TrapMPIFatal:
+		return "mpi-fatal"
+	case TrapMPIHandler:
+		return "mpi-handler"
+	case TrapKilled:
+		return "killed"
+	default:
+		return "none"
+	}
+}
+
+// Trap describes an abnormal stop.
+type Trap struct {
+	Kind TrapKind
+	PC   uint32 // faulting instruction address
+	Addr uint32 // faulting memory address, when applicable
+	Code int32  // exit/abort code
+	Msg  string // human-readable detail
+}
+
+func (t *Trap) Error() string {
+	if t.Msg != "" {
+		return fmt.Sprintf("%s at pc=0x%08x: %s", t.Kind, t.PC, t.Msg)
+	}
+	return fmt.Sprintf("%s at pc=0x%08x addr=0x%08x", t.Kind, t.PC, t.Addr)
+}
+
+// IsSignal reports whether the trap corresponds to a hardware signal the
+// MPI library's handler would catch (the paper's Crash category).
+func (t *Trap) IsSignal() bool {
+	return t.Kind == TrapSegv || t.Kind == TrapIll || t.Kind == TrapFpe
+}
+
+// Tracer observes memory activity for working-set analysis (§6.1.2).
+// Implementations must be cheap; the hooks run on every instruction.
+type Tracer interface {
+	Exec(pc uint32)              // an instruction was fetched from pc
+	Load(addr uint32, size int)  // data load
+	Store(addr uint32, size int) // data store
+}
+
+// SyscallHandler services SYS instructions.  A nil return continues
+// execution; a non-nil Trap stops the machine (TrapExit for normal
+// termination).  Handlers may block (e.g. in MPI_Recv); each machine runs
+// on its own goroutine.
+type SyscallHandler interface {
+	Syscall(m *Machine, num int32) *Trap
+}
+
+// FPEnv is the x87-style floating-point environment.  The stack top lives
+// in bits 11-13 of SWD, exactly as on the x87, so a bit flip injected into
+// SWD corrupts the register stack's addressing.
+type FPEnv struct {
+	Regs [isa.NumFPReg]float64 // physical data registers
+	CWD  uint16                // control word (default 0x037F, as on x87)
+	SWD  uint16                // status word; bits 11-13 = top
+	TWD  uint16                // tag word, 2 bits per physical register
+	FIP  uint32                // last FP instruction pointer
+	FCS  uint32                // last FP instruction "segment"
+	FOO  uint32                // last FP operand offset
+	FOS  uint32                // last FP operand "segment"
+}
+
+// Top returns the current stack-top physical index.
+func (e *FPEnv) Top() int { return int(e.SWD>>11) & 7 }
+
+// SetTop stores t into SWD bits 11-13.
+func (e *FPEnv) SetTop(t int) { e.SWD = e.SWD&^(7<<11) | uint16(t&7)<<11 }
+
+// Tag returns the 2-bit tag of physical register p.
+func (e *FPEnv) Tag(p int) int { return int(e.TWD>>(uint(p&7)*2)) & 3 }
+
+// SetTag sets the 2-bit tag of physical register p.
+func (e *FPEnv) SetTag(p, tag int) {
+	sh := uint(p&7) * 2
+	e.TWD = e.TWD&^(3<<sh) | uint16(tag&3)<<sh
+}
+
+// Machine is one simulated guest process.
+type Machine struct {
+	// Regs are the general-purpose registers (see isa register indices).
+	Regs [isa.NumGPR]uint32
+	// PC is the program counter.
+	PC uint32
+	// Flags holds the condition flags (isa.Flag*).
+	Flags uint32
+	// FP is the floating-point environment.
+	FP FPEnv
+
+	// Instrs counts retired instructions; it is the machine's time axis
+	// (the analogue of the paper's basic-block counts).
+	Instrs uint64
+	// MinSP tracks the lowest stack pointer observed, for stack-size
+	// profiling (Table 1).
+	MinSP uint32
+
+	// Image is the program this machine was loaded from.
+	Image *image.Image
+	// Heap is the guest heap allocator ("guest libc malloc").
+	Heap *Allocator
+
+	// Handler services system calls; it must be set before Run.
+	Handler SyscallHandler
+	// Tracer, when non-nil, observes execution for working-set analysis.
+	Tracer Tracer
+
+	// TriggerAt, when nonzero, invokes TriggerFn once just before the
+	// instruction at which Instrs == TriggerAt executes.  The fault
+	// injector uses it as the analogue of the paper's periodic ptrace stop.
+	TriggerAt uint64
+	TriggerFn func(*Machine)
+
+	// Stop, when non-nil, is polled periodically by Run; once set, the
+	// machine halts with TrapKilled.  The cluster uses it to tear down
+	// still-computing ranks after a job-level verdict (SIGKILL analogue).
+	Stop *atomic.Bool
+
+	text  segment
+	data  segment
+	bss   segment
+	heap  segment
+	stack segment
+}
+
+type segment struct {
+	base     uint32
+	bytes    []byte
+	writable bool
+}
+
+func (s *segment) contains(addr uint32) bool {
+	return addr >= s.base && addr-s.base < uint32(len(s.bytes))
+}
+
+// New loads the image into a fresh machine.
+func New(im *image.Image) *Machine {
+	m := &Machine{Image: im}
+	m.text = segment{base: image.TextBase, bytes: append([]byte(nil), im.Text...)}
+	m.data = segment{base: im.DataBase, bytes: append([]byte(nil), im.Data...), writable: true}
+	m.bss = segment{base: im.BSSBase, bytes: make([]byte, im.BSSSize), writable: true}
+	m.heap = segment{base: im.HeapBase, bytes: make([]byte, im.HeapLimit-im.HeapBase), writable: true}
+	m.stack = segment{base: im.StackBase(), bytes: make([]byte, im.StackSize), writable: true}
+	m.PC = im.Entry
+	m.Regs[isa.SP] = image.StackTop
+	m.Regs[isa.FP] = image.StackTop
+	m.MinSP = image.StackTop
+	m.FP.CWD = 0x037F
+	m.FP.TWD = 0xFFFF // all slots empty
+	m.Heap = newAllocator(m)
+	return m
+}
+
+// StopReason says why Run returned.
+type StopReason uint8
+
+const (
+	StopTrap StopReason = iota
+	StopBudget
+)
+
+// RunResult is the outcome of Run.
+type RunResult struct {
+	Reason StopReason
+	Trap   *Trap // set when Reason == StopTrap
+}
+
+// Run executes until a trap (including normal exit) or until budget
+// instructions have retired.  budget == 0 means unlimited.
+func (m *Machine) Run(budget uint64) RunResult {
+	for {
+		if budget != 0 && m.Instrs >= budget {
+			return RunResult{Reason: StopBudget}
+		}
+		if m.Stop != nil && m.Instrs&4095 == 0 && m.Stop.Load() {
+			return RunResult{Reason: StopTrap,
+				Trap: &Trap{Kind: TrapKilled, PC: m.PC, Msg: "killed by harness"}}
+		}
+		if m.TriggerAt != 0 && m.Instrs >= m.TriggerAt {
+			fn := m.TriggerFn
+			m.TriggerAt = 0
+			m.TriggerFn = nil
+			if fn != nil {
+				fn(m)
+			}
+		}
+		if t := m.Step(); t != nil {
+			return RunResult{Reason: StopTrap, Trap: t}
+		}
+	}
+}
+
+// segFor returns the segment containing addr, or nil.
+func (m *Machine) segFor(addr uint32) *segment {
+	// Ordered roughly by access frequency.
+	switch {
+	case m.stack.contains(addr):
+		return &m.stack
+	case m.heap.contains(addr):
+		return &m.heap
+	case m.data.contains(addr):
+		return &m.data
+	case m.bss.contains(addr):
+		return &m.bss
+	case m.text.contains(addr):
+		return &m.text
+	}
+	return nil
+}
+
+func (m *Machine) segv(addr uint32) *Trap {
+	return &Trap{Kind: TrapSegv, PC: m.PC, Addr: addr}
+}
+
+// span returns a slice covering [addr, addr+n) if it lies in one segment.
+func (m *Machine) span(addr uint32, n int, write bool) ([]byte, *Trap) {
+	s := m.segFor(addr)
+	if s == nil {
+		return nil, m.segv(addr)
+	}
+	if write && !s.writable {
+		return nil, m.segv(addr)
+	}
+	off := addr - s.base
+	if int(off)+n > len(s.bytes) {
+		return nil, m.segv(addr)
+	}
+	return s.bytes[off : int(off)+n], nil
+}
+
+// Load32 reads a 32-bit little-endian word.
+func (m *Machine) Load32(addr uint32) (uint32, *Trap) {
+	b, t := m.span(addr, 4, false)
+	if t != nil {
+		return 0, t
+	}
+	if m.Tracer != nil {
+		m.Tracer.Load(addr, 4)
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// Store32 writes a 32-bit little-endian word.
+func (m *Machine) Store32(addr, v uint32) *Trap {
+	b, t := m.span(addr, 4, true)
+	if t != nil {
+		return t
+	}
+	if m.Tracer != nil {
+		m.Tracer.Store(addr, 4)
+	}
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}
+
+// Load8 reads one byte.
+func (m *Machine) Load8(addr uint32) (byte, *Trap) {
+	b, t := m.span(addr, 1, false)
+	if t != nil {
+		return 0, t
+	}
+	if m.Tracer != nil {
+		m.Tracer.Load(addr, 1)
+	}
+	return b[0], nil
+}
+
+// Store8 writes one byte.
+func (m *Machine) Store8(addr uint32, v byte) *Trap {
+	b, t := m.span(addr, 1, true)
+	if t != nil {
+		return t
+	}
+	if m.Tracer != nil {
+		m.Tracer.Store(addr, 1)
+	}
+	b[0] = v
+	return nil
+}
+
+// LoadF64 reads a float64.
+func (m *Machine) LoadF64(addr uint32) (float64, *Trap) {
+	b, t := m.span(addr, 8, false)
+	if t != nil {
+		return 0, t
+	}
+	if m.Tracer != nil {
+		m.Tracer.Load(addr, 8)
+	}
+	var u uint64
+	for i := 7; i >= 0; i-- {
+		u = u<<8 | uint64(b[i])
+	}
+	return math.Float64frombits(u), nil
+}
+
+// StoreF64 writes a float64.
+func (m *Machine) StoreF64(addr uint32, v float64) *Trap {
+	b, t := m.span(addr, 8, true)
+	if t != nil {
+		return t
+	}
+	if m.Tracer != nil {
+		m.Tracer.Store(addr, 8)
+	}
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * uint(i)))
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr (crossing segments is an error).
+func (m *Machine) ReadBytes(addr uint32, n int) ([]byte, *Trap) {
+	b, t := m.span(addr, n, false)
+	if t != nil {
+		return nil, t
+	}
+	if m.Tracer != nil {
+		m.Tracer.Load(addr, n)
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, nil
+}
+
+// WriteBytes copies data into guest memory at addr.
+func (m *Machine) WriteBytes(addr uint32, data []byte) *Trap {
+	b, t := m.span(addr, len(data), true)
+	if t != nil {
+		return t
+	}
+	if m.Tracer != nil {
+		m.Tracer.Store(addr, len(data))
+	}
+	copy(b, data)
+	return nil
+}
+
+// RawRead reads guest memory ignoring permissions; it is the fault
+// injector's view (ptrace PEEKDATA analogue).  ok is false if the range is
+// unmapped.
+func (m *Machine) RawRead(addr uint32, n int) ([]byte, bool) {
+	s := m.segFor(addr)
+	if s == nil {
+		return nil, false
+	}
+	off := addr - s.base
+	if int(off)+n > len(s.bytes) {
+		return nil, false
+	}
+	out := make([]byte, n)
+	copy(out, s.bytes[off:])
+	return out, true
+}
+
+// RawWrite writes guest memory ignoring permissions (ptrace POKEDATA
+// analogue); the fault injector uses it to corrupt even read-only text.
+func (m *Machine) RawWrite(addr uint32, data []byte) bool {
+	s := m.segFor(addr)
+	if s == nil {
+		return false
+	}
+	off := addr - s.base
+	if int(off)+len(data) > len(s.bytes) {
+		return false
+	}
+	copy(s.bytes[off:], data)
+	return true
+}
+
+// SegmentRange returns [base, end) of the named segment for injector
+// targeting.  Valid names: text, data, bss, heap, stack.
+func (m *Machine) SegmentRange(name string) (uint32, uint32, bool) {
+	var s *segment
+	switch name {
+	case "text":
+		s = &m.text
+	case "data":
+		s = &m.data
+	case "bss":
+		s = &m.bss
+	case "heap":
+		s = &m.heap
+	case "stack":
+		s = &m.stack
+	default:
+		return 0, 0, false
+	}
+	return s.base, s.base + uint32(len(s.bytes)), true
+}
+
+// Arg returns syscall argument i under the ABI convention (r0-r3, then the
+// guest stack).
+func (m *Machine) Arg(i int) (uint32, *Trap) {
+	if i < 4 {
+		return m.Regs[i], nil
+	}
+	return m.Load32(m.Regs[isa.SP] + uint32(4*(i-4)))
+}

@@ -1,0 +1,60 @@
+package vm
+
+import (
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// Frame describes one stack frame found by the frame-pointer walk.
+type Frame struct {
+	// FP is the frame-pointer value for this frame: [FP] holds the saved
+	// caller FP and [FP+4] the return address.
+	FP uint32
+	// RetAddr is the return address stored in the frame.
+	RetAddr uint32
+	// UserContext reports whether RetAddr falls within user-application
+	// text — the §3.2 criterion for whether the frame *below* belongs to
+	// the user application and may be injected into.
+	UserContext bool
+}
+
+// WalkFrames walks the frame-pointer chain from the current FP register to
+// the stack base, mirroring the paper's EBP/ESP walk-through.  The walk
+// stops at the first frame whose pointers leave the stack segment or fail
+// to make progress (which happens naturally once corrupted frames are
+// encountered).
+func (m *Machine) WalkFrames() []Frame {
+	var frames []Frame
+	fp := m.Regs[isa.FP]
+	lo := m.Image.StackBase()
+	for len(frames) < 256 {
+		if fp < lo || fp+8 > image.StackTop {
+			break
+		}
+		savedFP, t1 := m.Load32NoTrace(fp)
+		retAddr, t2 := m.Load32NoTrace(fp + 4)
+		if t1 != nil || t2 != nil {
+			break
+		}
+		frames = append(frames, Frame{
+			FP:          fp,
+			RetAddr:     retAddr,
+			UserContext: m.Image.InUserText(retAddr),
+		})
+		if savedFP <= fp { // frames must grow toward the stack base
+			break
+		}
+		fp = savedFP
+	}
+	return frames
+}
+
+// Load32NoTrace reads a word without notifying the tracer; injector-side
+// inspection must not pollute the working-set measurement.
+func (m *Machine) Load32NoTrace(addr uint32) (uint32, *Trap) {
+	b, ok := m.RawRead(addr, 4)
+	if !ok {
+		return 0, m.segv(addr)
+	}
+	return readLE32(b), nil
+}
