@@ -6,6 +6,14 @@
 //
 //	faultcampaign [-app wavetoy|minimd|minicam|all] [-n 500] [-seed 1]
 //	              [-regions reg,fp,...] [-csv] [-quiet]
+//	              [-liveness live|dead] [-predict]
+//
+// -liveness directs register-region injections by the static analysis
+// in internal/analysis: "live" samples only statically-live bits (same
+// error coverage, fewer wasted runs — the reported speedup), "dead"
+// samples only provably-dead bits (a soundness audit: everything must
+// come back Correct).  -predict prints the static AVF forecast next to
+// the campaign's measured manifestation rates.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"mpifault/internal/analysis"
 	"mpifault/internal/apps"
 	"mpifault/internal/core"
 	"mpifault/internal/report"
@@ -30,6 +39,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the table layout")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	par := flag.Int("parallel", 0, "concurrent experiment jobs (0 = auto)")
+	liveness := flag.String("liveness", "", "direct register injections by static liveness (live or dead)")
+	predict := flag.Bool("predict", false, "print the static AVF prediction next to the measured rates")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcampaign: ")
@@ -43,6 +54,17 @@ func main() {
 			}
 			regionList = append(regionList, r)
 		}
+	}
+
+	var policy core.LivenessPolicy
+	switch *liveness {
+	case "":
+	case "live":
+		policy = core.LiveTargetLive
+	case "dead":
+		policy = core.LiveTargetDead
+	default:
+		log.Fatalf("unknown -liveness policy %q (want live or dead)", *liveness)
 	}
 
 	names := []string{"wavetoy", "minimd", "minicam"}
@@ -75,6 +97,24 @@ func main() {
 			Seed:        *seed,
 			Parallelism: *par,
 		}
+		var prog *analysis.Program
+		var live *analysis.Liveness
+		var abiStats map[string]analysis.ABIStats
+		if *liveness != "" || *predict {
+			if prog, err = analysis.Analyze(im); err != nil {
+				log.Fatalf("analyze %s: %v", name, err)
+			}
+			live = analysis.ComputeLiveness(prog)
+			var abiFindings []analysis.Finding
+			abiFindings, abiStats = analysis.ABICheck(prog)
+			if total := len(prog.Findings) + len(live.Findings) + len(abiFindings); total > 0 {
+				log.Fatalf("%s: static analysis reported %d findings; run faultlint", name, total)
+			}
+		}
+		if *liveness != "" {
+			cfg.Liveness = live
+			cfg.LivenessPolicy = policy
+		}
 		if !*quiet {
 			cfg.Progress = func(done, total int) {
 				if done%50 == 0 || done == total {
@@ -94,6 +134,21 @@ func main() {
 		} else {
 			report.WriteCampaign(os.Stdout, fmt.Sprintf("%s, stands in for %s", name, a.Paper), res)
 			fmt.Printf("(campaign wall time %.1fs)\n\n", time.Since(start).Seconds())
+		}
+		if d := res.Directed; d != nil && d.Experiments > 0 {
+			fmt.Printf("%s: %s-directed register sampling: %.1f%% of the %d-bit space eligible -> %.1fx fewer injections for equal coverage\n\n",
+				name, d.Policy, 100*d.Fraction(), core.RegisterSpaceBits, d.Speedup())
+		}
+		if *predict {
+			rep := analysis.EstimateAVF(prog, live, abiStats, nil)
+			rep.App = name
+			measured := make(map[string]float64)
+			for _, t := range res.Tallies {
+				measured[t.Region.String()] = t.ErrorRate() / 100
+			}
+			fmt.Printf("%s: static AVF prediction vs measured manifestation rate:\n", name)
+			rep.WriteAVF(os.Stdout, measured)
+			fmt.Println()
 		}
 	}
 }

@@ -1,0 +1,133 @@
+// Command faultlint runs every static pass in internal/analysis over
+// the guest applications and reports what it finds: CFG defects
+// (undecodable opcodes, branches into the middle of instructions,
+// control falling off the end), ABI/stack-discipline violations,
+// floating-point stack imbalance, register-liveness inconsistencies,
+// and — with -mpi — mismatches in the recorded point-to-point traffic.
+// It also prints the static AVF prediction table: the per-region
+// fraction of fault-sensitive state the analyzer expects, the forecast
+// the injection campaigns of the paper measure empirically.
+//
+// The exit status is the number of apps with findings, so a clean tree
+// exits 0 and the tool slots into tier-1 checks.
+//
+// Usage:
+//
+//	faultlint                      # all apps, static passes + AVF table
+//	faultlint -app minimd -v       # one app, per-function statistics
+//	faultlint -mpi                 # also lint recorded MPI traffic
+//	faultlint -profile             # measured denominators for the AVF table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mpifault/internal/analysis"
+	"mpifault/internal/apps"
+	"mpifault/internal/mpi"
+	"mpifault/internal/profile"
+)
+
+func main() {
+	app := flag.String("app", "", "lint a single application (default: all)")
+	withMPI := flag.Bool("mpi", false, "run the app once and lint its point-to-point traffic")
+	withProfile := flag.Bool("profile", false, "measure the app to refine the AVF denominators")
+	verbose := flag.Bool("v", false, "per-function liveness and ABI statistics")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("faultlint: ")
+
+	var names []string
+	if *app != "" {
+		names = []string{*app}
+	} else {
+		for _, a := range apps.Registry() {
+			names = append(names, a.Name)
+		}
+	}
+
+	bad := 0
+	for _, name := range names {
+		if lintApp(name, *withMPI, *withProfile, *verbose) {
+			bad++
+		}
+	}
+	os.Exit(bad)
+}
+
+// lintApp runs all passes over one app and reports; it returns whether
+// anything was found.
+func lintApp(name string, withMPI, withProfile, verbose bool) bool {
+	a, err := apps.Get(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := a.Build(a.Default)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+
+	prog, err := analysis.Analyze(im)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	live := analysis.ComputeLiveness(prog)
+	abiFindings, abiStats := analysis.ABICheck(prog)
+
+	findings := append([]analysis.Finding(nil), prog.Findings...)
+	findings = append(findings, live.Findings...)
+	findings = append(findings, abiFindings...)
+
+	if withMPI {
+		res := analysis.MPILint(im, a.Default.Ranks, mpi.Config{}, 0, 30*time.Second)
+		findings = append(findings, res.Findings...)
+		fmt.Printf("%s: mpi traffic: %d ops, %d pairs matched\n", name, res.Ops, res.Matched)
+	}
+
+	var prof *profile.Profile
+	if withProfile {
+		if prof, err = profile.Measure(name, im, a.Default.Ranks, mpi.Config{}); err != nil {
+			log.Fatalf("%s: profile: %v", name, err)
+		}
+	}
+
+	reachable := 0
+	for _, f := range prog.Funcs {
+		if f.Reachable {
+			reachable++
+		}
+	}
+	fmt.Printf("%s: %d functions (%d reachable), %d findings\n", name, len(prog.Funcs), reachable, len(findings))
+	for _, f := range findings {
+		fmt.Printf("  %s\n", f)
+	}
+
+	if verbose {
+		for _, f := range prog.Funcs {
+			if !f.Reachable {
+				fmt.Printf("  %-24s unreachable\n", f.Sym.Name)
+				continue
+			}
+			st := abiStats[f.Sym.Name]
+			frame := "leaf"
+			if st.HasFrame {
+				frame = "framed"
+			}
+			use, _ := live.FuncEntryUse(f.Sym.Name)
+			fmt.Printf("  %-24s %3d instrs, %2d blocks, %s, %d stack words, entry uses %s\n",
+				f.Sym.Name, len(f.Instrs), len(f.Blocks), frame,
+				st.MaxDepthWords, use)
+		}
+	}
+
+	rep := analysis.EstimateAVF(prog, live, abiStats, prof)
+	rep.App = name
+	fmt.Printf("%s: static fault-sensitivity prediction:\n", name)
+	rep.WriteAVF(os.Stdout, nil)
+	fmt.Println()
+	return len(findings) > 0
+}

@@ -43,10 +43,20 @@ func main() {
 		if !ok || s.Kind != image.SymFunc {
 			log.Fatalf("no function %q", *disasm)
 		}
+		resolve := func(addr uint32) string {
+			t, ok := im.FindSymbol(addr)
+			if !ok {
+				return ""
+			}
+			if t.Addr == addr {
+				return t.Name
+			}
+			return fmt.Sprintf("%s+0x%x", t.Name, addr-t.Addr)
+		}
 		fmt.Printf("%s <%s> (%d bytes, %s):\n", *app, s.Name, s.Size, s.Owner)
 		for off := uint32(0); off < s.Size; off += isa.InstrBytes {
 			in := isa.Decode(im.Text[s.Addr-image.TextBase+off:])
-			fmt.Printf("  %08x: %s\n", s.Addr+off, in)
+			fmt.Printf("  %08x: %s\n", s.Addr+off, in.Disasm(resolve))
 		}
 		return
 	}

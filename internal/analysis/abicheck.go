@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+
+	"mpifault/internal/isa"
+)
+
+// abiState is the abstract machine state of the stack verifier at one
+// program point: how many words the function has pushed beyond its entry
+// sp, and what fp holds.
+type abiState struct {
+	depth       int // words pushed below the entry sp (entry = 0)
+	frame       int // depth captured by "movr fp, sp"; -1 when fp is the caller's
+	fpClobbered bool
+}
+
+// ABIStats summarizes one function's frame for the AVF stack model.
+type ABIStats struct {
+	MaxDepthWords int  // deepest simultaneous extent below the entry sp
+	LocalWords    int  // words reserved by the prologue's sp adjustment
+	HasFrame      bool // uses the push fp / movr fp,sp prologue
+}
+
+// ABICheck verifies every function against the calling convention
+// documented in internal/asm/func.go: fp and sp preserved across the
+// call, push/pop depth balanced on every CFG path, sp moved only by
+// push/pop/call/ret, word-sized adjustments, and frame restores.  Both
+// the framed prologue/epilogue style and frameless leaves (libc's
+// malloc, the MPI stubs) verify cleanly.  It returns the findings plus
+// per-function frame statistics.
+func ABICheck(prog *Program) ([]Finding, map[string]ABIStats) {
+	var findings []Finding
+	stats := make(map[string]ABIStats, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		fs, st := checkABI(f)
+		findings = append(findings, fs...)
+		stats[f.Sym.Name] = st
+	}
+	return findings, stats
+}
+
+func writesRdSlot(op isa.Op) bool {
+	for _, o := range op.Writes() {
+		if o == isa.OperandRd {
+			return true
+		}
+	}
+	return false
+}
+
+func checkABI(f *FuncCFG) ([]Finding, ABIStats) {
+	var findings []Finding
+	var st ABIStats
+	bad := func(i int, format string, args ...interface{}) {
+		findings = append(findings, Finding{
+			Pass: "abi", Func: f.Sym.Name, Addr: f.Addr(i), Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	if len(f.Blocks) == 0 {
+		return findings, st
+	}
+	// Prologue shape, for the stack AVF model (not a check: frameless
+	// functions are legal).
+	if len(f.Instrs) >= 2 &&
+		f.Instrs[0].Op == isa.OpPush && f.Instrs[0].Ra == isa.FP &&
+		f.Instrs[1].Op == isa.OpMovr && f.Instrs[1].Rd == isa.FP && f.Instrs[1].Ra == isa.SP {
+		st.HasFrame = true
+		if len(f.Instrs) >= 3 {
+			in := f.Instrs[2]
+			if in.Op == isa.OpAddi && in.Rd == isa.SP && in.Ra == isa.SP && in.Imm < 0 {
+				st.LocalWords = int(-in.Imm) / 4
+			}
+		}
+	}
+
+	states := make([]abiState, len(f.Blocks))
+	visited := make([]bool, len(f.Blocks))
+	joined := make([]bool, len(f.Blocks)) // join-mismatch reported already
+	states[0] = abiState{frame: -1}
+	visited[0] = true
+	work := []int{0}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		s := states[bi]
+		b := &f.Blocks[bi]
+		broken := false
+		for i := b.Start; i < b.End && !broken; i++ {
+			in := f.Instrs[i]
+			if !in.Op.Valid() || !in.OperandsValid() {
+				broken = true // the cfg pass owns this finding
+				break
+			}
+			switch {
+			case in.Op == isa.OpPush:
+				s.depth++
+			case in.Op == isa.OpPop:
+				if s.depth == 0 {
+					bad(i, "pop underflows the frame (nothing pushed on this path)")
+					broken = true
+					break
+				}
+				s.depth--
+				if in.Rd == isa.SP {
+					bad(i, "pop into sp: unstructured stack-pointer write")
+					broken = true
+					break
+				}
+				if in.Rd == isa.FP {
+					s.fpClobbered = false
+					s.frame = -1
+				}
+			case in.Op == isa.OpAddi && in.Rd == isa.SP:
+				if in.Ra != isa.SP {
+					bad(i, "sp written from %s: only sp±imm adjustments are allowed", in)
+					broken = true
+					break
+				}
+				if in.Imm%4 != 0 {
+					bad(i, "sp adjusted by %d: not word-sized", in.Imm)
+				}
+				s.depth -= int(in.Imm) / 4
+				if s.depth < 0 {
+					bad(i, "sp adjustment releases %d words beyond the entry frame", -s.depth)
+					broken = true
+					break
+				}
+			case in.Op == isa.OpMovr && in.Rd == isa.FP && in.Ra == isa.SP:
+				s.frame = s.depth
+				s.fpClobbered = true
+			case in.Op == isa.OpMovr && in.Rd == isa.SP && in.Ra == isa.FP:
+				if s.frame < 0 {
+					bad(i, "sp restored from fp, but fp holds no frame on this path")
+					broken = true
+					break
+				}
+				s.depth = s.frame
+			case in.Op == isa.OpRet:
+				if s.depth != 0 {
+					bad(i, "returns with %d words left on the frame", s.depth)
+				}
+				if s.fpClobbered {
+					bad(i, "returns without restoring the caller's fp")
+				}
+			default:
+				if writesRdSlot(in.Op) {
+					switch in.Rd {
+					case isa.SP:
+						bad(i, "unstructured write to sp: %s", in)
+						broken = true
+					case isa.FP:
+						bad(i, "unstructured write to fp: %s", in)
+					}
+				}
+			}
+			if s.depth > st.MaxDepthWords {
+				st.MaxDepthWords = s.depth
+			}
+		}
+		if broken {
+			continue
+		}
+		for _, succ := range b.Succs {
+			if !visited[succ] {
+				visited[succ] = true
+				states[succ] = s
+				work = append(work, succ)
+			} else if states[succ] != s && !joined[succ] {
+				joined[succ] = true
+				bad(f.Blocks[succ].Start, "inconsistent frame at join: depth %d words (fp frame %d) vs %d (fp frame %d)",
+					states[succ].depth, states[succ].frame, s.depth, s.frame)
+			}
+		}
+	}
+	return findings, st
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"mpifault/internal/apps"
+	"mpifault/internal/asm"
+	"mpifault/internal/guest"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+func analyzeImage(t *testing.T, im *image.Image) (*Program, *Liveness, []Finding) {
+	t.Helper()
+	prog, err := Analyze(im)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	live := ComputeLiveness(prog)
+	abiFindings, _ := ABICheck(prog)
+	var all []Finding
+	all = append(all, prog.Findings...)
+	all = append(all, abiFindings...)
+	all = append(all, live.Findings...)
+	return prog, live, all
+}
+
+// TestSeedAppsClean: the three built-in applications must verify with
+// zero CFG, ABI and FP-stack findings — they run correctly under the
+// campaign harness, so any finding here is an analyzer false positive.
+func TestSeedAppsClean(t *testing.T) {
+	for _, name := range []string{"wavetoy", "minimd", "minicam"} {
+		a, err := apps.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := a.Build(a.Default)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		prog, live, findings := analyzeImage(t, im)
+		for _, f := range findings {
+			t.Errorf("%s: unexpected finding: %s", name, f)
+		}
+		if len(prog.Funcs) < 10 {
+			t.Errorf("%s: only %d functions analyzed", name, len(prog.Funcs))
+		}
+		// The liveness map must cover the app's entry point.
+		if _, ok := live.LiveAt(im.Entry); !ok {
+			t.Errorf("%s: no liveness at entry 0x%08x", name, im.Entry)
+		}
+	}
+}
+
+// buildWith links libc+libmpi plus the functions emitted by body; main
+// just returns 0.
+func buildWith(t *testing.T, body func(m *asm.Module)) *image.Image {
+	t.Helper()
+	b := asm.NewBuilder()
+	guest.AddLibc(b)
+	guest.AddLibMPI(b)
+	m := b.Module("app", image.OwnerUser)
+	f := m.Func("main")
+	f.Prologue(0)
+	f.Movi(isa.R0, 0)
+	f.Epilogue()
+	if body != nil {
+		body(m)
+	}
+	im, err := b.Link(asm.LinkConfig{})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return im
+}
+
+func findingsFor(all []Finding, pass, fn string) []Finding {
+	var out []Finding
+	for _, f := range all {
+		if f.Pass == pass && f.Func == fn {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestBrokenFunctionsFlagged: deliberately malformed functions — even
+// ones nothing calls — must be caught by the matching pass.
+func TestBrokenFunctionsFlagged(t *testing.T) {
+	im := buildWith(t, func(m *asm.Module) {
+		f := m.Func("bad_push") // pushes without popping: unbalanced frame
+		f.Push(isa.R0)
+		f.Ret()
+		g := m.Func("bad_fp") // pops two FP values having pushed one
+		g.Fldz()
+		g.Faddp()
+		g.Ret()
+		h := m.Func("bad_fall") // no terminator: control runs off the end
+		h.Movi(isa.R0, 1)
+	})
+	_, _, all := analyzeImage(t, im)
+	if fs := findingsFor(all, "abi", "bad_push"); len(fs) == 0 {
+		t.Error("unbalanced push/ret not flagged by the abi pass")
+	} else if !strings.Contains(fs[0].Msg, "1 words left") {
+		t.Errorf("bad_push: unexpected message %q", fs[0].Msg)
+	}
+	if fs := findingsFor(all, "fpstack", "bad_fp"); len(fs) == 0 {
+		t.Error("FP over-pop not flagged by the fpstack pass")
+	}
+	if fs := findingsFor(all, "cfg", "bad_fall"); len(fs) == 0 {
+		t.Error("fall-off-the-end not flagged by the cfg pass")
+	}
+	// The well-formed functions around them must stay clean.
+	for _, f := range all {
+		switch f.Func {
+		case "bad_push", "bad_fp", "bad_fall":
+		default:
+			t.Errorf("collateral finding: %s", f)
+		}
+	}
+}
+
+// TestPatchedTextFlagged corrupts linked text the way a text-segment
+// fault would and checks the CFG pass notices.
+func TestPatchedTextFlagged(t *testing.T) {
+	patch := func(t *testing.T, im *image.Image, fn string, idx int, mod func(*isa.Instr)) {
+		t.Helper()
+		sym, ok := im.Lookup(fn)
+		if !ok {
+			t.Fatalf("no symbol %s", fn)
+		}
+		off := sym.Addr - image.TextBase + uint32(idx*isa.InstrBytes)
+		in := isa.Decode(im.Text[off : off+isa.InstrBytes])
+		mod(&in)
+		in.Encode(im.Text[off : off+isa.InstrBytes])
+	}
+
+	t.Run("undecodable", func(t *testing.T) {
+		im := buildWith(t, nil)
+		patch(t, im, "main", 1, func(in *isa.Instr) { in.Op = isa.Op(0xEE) })
+		_, _, all := analyzeImage(t, im)
+		fs := findingsFor(all, "cfg", "main")
+		if len(fs) == 0 || !strings.Contains(fs[0].Msg, "undecodable") {
+			t.Errorf("patched opcode not flagged: %v", fs)
+		}
+	})
+	t.Run("branch-mid-instruction", func(t *testing.T) {
+		im := buildWith(t, func(m *asm.Module) {
+			f := m.Func("loopy")
+			l := f.NewLabel()
+			f.Label(l)
+			f.Cmpi(isa.R0, 0)
+			f.Bne(l)
+			f.Ret()
+		})
+		patch(t, im, "loopy", 1, func(in *isa.Instr) { in.Imm += 4 })
+		_, _, all := analyzeImage(t, im)
+		fs := findingsFor(all, "cfg", "loopy")
+		if len(fs) == 0 || !strings.Contains(fs[0].Msg, "middle of an instruction") {
+			t.Errorf("misaligned branch target not flagged: %v", fs)
+		}
+	})
+}
+
+// TestLivenessKnownSets checks the dataflow on a function with obvious
+// live and dead registers.
+func TestLivenessKnownSets(t *testing.T) {
+	b := asm.NewBuilder()
+	guest.AddLibc(b)
+	guest.AddLibMPI(b)
+	m := b.Module("app", image.OwnerUser)
+	leaf := m.Func("leaf")
+	leaf.Movi(isa.R0, 1)   // 0
+	leaf.Movi(isa.R1, 2)   // 1
+	leaf.Add(2, isa.R0, 1) // 2: r2 = r0 + r1
+	leaf.Ret()             // 3
+	f := m.Func("main")
+	f.Prologue(0)
+	f.Call("leaf")
+	f.Movi(isa.R0, 0)
+	f.Epilogue()
+	im, err := b.Link(asm.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, live, all := analyzeImage(t, im)
+	for _, f := range all {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	sym, _ := im.Lookup("leaf")
+	at := func(i int) RegMask {
+		mask, ok := live.LiveAt(sym.Addr + uint32(i*isa.InstrBytes))
+		if !ok {
+			t.Fatalf("no liveness at leaf+%d", i*isa.InstrBytes)
+		}
+		return RegMask(mask)
+	}
+	// At the add, its operands are live and its result is not yet.
+	if m := at(2); !m.Has(0) || !m.Has(1) {
+		t.Errorf("at add: r0,r1 must be live, got %s", m)
+	}
+	if m := at(2); m.Has(2) || m.Has(3) {
+		t.Errorf("at add: r2,r3 must be dead, got %s", m)
+	}
+	// At entry, the about-to-be-overwritten r0/r1 are dead.
+	if m := at(0); m.Has(0) || m.Has(1) || m.Has(2) {
+		t.Errorf("at entry: r0,r1,r2 must be dead, got %s", m)
+	}
+	// sp stays live everywhere inside a function under the convention.
+	if m := at(1); !m.Has(isa.SP) {
+		t.Errorf("sp must be live, got %s", m)
+	}
+	// The noreturn runtime abort must be recognized: its callers' FP
+	// depths would be inconsistent otherwise (fchecknan links in libc).
+	if ab := prog.Func("app_abort"); ab == nil || !ab.NoReturn {
+		t.Error("app_abort must be classified noreturn")
+	}
+}

@@ -1,0 +1,450 @@
+// Package analysis statically analyzes linked guest images.  It rebuilds
+// per-function control-flow graphs from the text segment, verifies the
+// internal/asm calling convention, runs register and FP-stack liveness
+// dataflow, predicts per-region fault sensitivity (a static AVF estimate
+// in the ACE-bit tradition: a fault in a bit that is never live cannot
+// change the program outcome), and lints the MPI communication structure
+// recorded from a clean run.  cmd/faultlint drives all passes.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"mpifault/internal/abi"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// Finding is one defect reported by a static pass.
+type Finding struct {
+	Pass string // "cfg", "abi", "fpstack" or "mpi"
+	Func string // function name, "" for whole-program findings
+	Addr uint32 // instruction address, 0 for whole-program findings
+	Msg  string
+}
+
+func (f Finding) String() string {
+	switch {
+	case f.Func != "" && f.Addr != 0:
+		return fmt.Sprintf("[%s] %s @ 0x%08x: %s", f.Pass, f.Func, f.Addr, f.Msg)
+	case f.Func != "":
+		return fmt.Sprintf("[%s] %s: %s", f.Pass, f.Func, f.Msg)
+	default:
+		return fmt.Sprintf("[%s] %s", f.Pass, f.Msg)
+	}
+}
+
+// termKind says why a basic block ends.
+type termKind uint8
+
+const (
+	termFall  termKind = iota // next instruction is a leader
+	termJmp                   // unconditional branch
+	termCond                  // conditional branch: target + fall-through
+	termCall                  // call; falls through unless callee is noreturn
+	termCallr                 // indirect call; always assumed to return
+	termRet                   // function return
+	termExit                  // sys exit/abort: execution never continues
+)
+
+// Block is one basic block: instructions [Start,End) of the function.
+type Block struct {
+	Start, End int
+	Succs      []int // intra-procedural successor blocks
+	term       termKind
+	callee     string // resolved callee name when term is termCall
+}
+
+// FuncCFG is the decoded control-flow graph of one function.
+type FuncCFG struct {
+	Sym    image.Symbol
+	Instrs []isa.Instr
+	Blocks []Block
+
+	// NoReturn reports that no path from entry reaches a Ret: every
+	// execution ends in sys exit/abort or loops forever (e.g. app_abort).
+	NoReturn bool
+	// Reachable reports the function can execute at all, following call
+	// edges from the image entry point.
+	Reachable bool
+
+	blockOf []int  // instruction index -> block index
+	reach   []bool // instruction intra-procedurally reachable from entry
+	callees []string
+}
+
+// Addr returns the address of instruction i.
+func (f *FuncCFG) Addr(i int) uint32 { return f.Sym.Addr + uint32(i*isa.InstrBytes) }
+
+// indexOf maps an address to an instruction index within the function.
+func (f *FuncCFG) indexOf(addr uint32) (int, bool) {
+	if addr < f.Sym.Addr || addr >= f.Sym.Addr+f.Sym.Size {
+		return 0, false
+	}
+	off := addr - f.Sym.Addr
+	if off%isa.InstrBytes != 0 {
+		return 0, false
+	}
+	return int(off / isa.InstrBytes), true
+}
+
+// Program is the analyzed image: one CFG per text-segment function.
+type Program struct {
+	Image *image.Image
+	Funcs []*FuncCFG // sorted by address
+
+	// Findings holds the CFG pass's defects (undecodable opcodes, bad
+	// branch targets, falls-off-the-end).  ABICheck and ComputeLiveness
+	// report theirs separately.
+	Findings []Finding
+
+	byName   map[string]*FuncCFG
+	hasCallr bool // a reachable indirect call exists somewhere
+}
+
+// Func returns the CFG of the named function, or nil.
+func (p *Program) Func(name string) *FuncCFG { return p.byName[name] }
+
+// Analyze decodes every function of the image and builds the program
+// CFG.  Structural defects land in the returned Program's Findings;
+// Analyze itself only fails on a malformed symbol table.
+func Analyze(im *image.Image) (*Program, error) {
+	prog := &Program{Image: im, byName: make(map[string]*FuncCFG)}
+	for _, sym := range im.Symbols {
+		if sym.Kind != image.SymFunc {
+			continue
+		}
+		if sym.Addr < image.TextBase || sym.Addr+sym.Size > im.TextEnd() {
+			return nil, fmt.Errorf("function %s [0x%x,0x%x) outside text", sym.Name, sym.Addr, sym.Addr+sym.Size)
+		}
+		f := &FuncCFG{Sym: sym}
+		if sym.Size%isa.InstrBytes != 0 {
+			prog.Findings = append(prog.Findings, Finding{
+				Pass: "cfg", Func: sym.Name,
+				Msg: fmt.Sprintf("size %d is not a multiple of the %d-byte instruction size", sym.Size, isa.InstrBytes),
+			})
+		}
+		n := int(sym.Size / isa.InstrBytes)
+		f.Instrs = make([]isa.Instr, n)
+		for i := 0; i < n; i++ {
+			off := sym.Addr - image.TextBase + uint32(i*isa.InstrBytes)
+			f.Instrs[i] = isa.Decode(im.Text[off : off+isa.InstrBytes])
+		}
+		prog.Funcs = append(prog.Funcs, f)
+		prog.byName[sym.Name] = f
+	}
+	sort.Slice(prog.Funcs, func(i, j int) bool { return prog.Funcs[i].Sym.Addr < prog.Funcs[j].Sym.Addr })
+
+	for _, f := range prog.Funcs {
+		prog.buildBlocks(f)
+	}
+	mayReturn := prog.noReturnFixpoint()
+	for _, f := range prog.Funcs {
+		f.NoReturn = !mayReturn[f]
+		prog.finishEdges(f, mayReturn)
+		f.computeReach()
+		prog.checkFunc(f)
+	}
+	prog.markReachable()
+	return prog, nil
+}
+
+// buildBlocks splits a function into basic blocks (successor edges are
+// filled in by finishEdges, after the noreturn fixpoint).
+func (p *Program) buildBlocks(f *FuncCFG) {
+	n := len(f.Instrs)
+	if n == 0 {
+		return
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, in := range f.Instrs {
+		switch {
+		case in.Op.IsBranch(): // jmp, conditional branches, call
+			if i+1 < n {
+				leader[i+1] = true
+			}
+			if in.Op != isa.OpCall {
+				if t, ok := f.indexOf(uint32(in.Imm)); ok {
+					leader[t] = true
+				}
+			}
+		case in.Op == isa.OpCallr, in.Op == isa.OpRet:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case isSysExit(in):
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+	f.blockOf = make([]int, n)
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			b := Block{Start: start, End: i}
+			last := f.Instrs[i-1]
+			switch {
+			case last.Op == isa.OpJmp:
+				b.term = termJmp
+			case last.Op.IsBranch() && last.Op != isa.OpCall:
+				b.term = termCond
+			case last.Op == isa.OpCall:
+				b.term = termCall
+				if g := p.funcAt(uint32(last.Imm)); g != nil {
+					b.callee = g.Sym.Name
+				}
+			case last.Op == isa.OpCallr:
+				b.term = termCallr
+			case last.Op == isa.OpRet:
+				b.term = termRet
+			case isSysExit(last):
+				b.term = termExit
+			default:
+				b.term = termFall
+			}
+			for j := start; j < i; j++ {
+				f.blockOf[j] = len(f.Blocks)
+			}
+			f.Blocks = append(f.Blocks, b)
+			start = i
+		}
+	}
+}
+
+// isSysExit reports a syscall after which execution cannot continue.
+func isSysExit(in isa.Instr) bool {
+	return in.Op == isa.OpSys && (in.Imm == abi.SysExit || in.Imm == abi.SysAbort)
+}
+
+// funcAt returns the function whose entry point is exactly addr.
+func (p *Program) funcAt(addr uint32) *FuncCFG {
+	i := sort.Search(len(p.Funcs), func(i int) bool { return p.Funcs[i].Sym.Addr >= addr })
+	if i < len(p.Funcs) && p.Funcs[i].Sym.Addr == addr {
+		return p.Funcs[i]
+	}
+	return nil
+}
+
+// noReturnFixpoint computes, as a least fixpoint from "nothing returns",
+// which functions may reach a Ret.  Unresolved call targets and indirect
+// calls are conservatively assumed to return.
+func (p *Program) noReturnFixpoint() map[*FuncCFG]bool {
+	mayReturn := make(map[*FuncCFG]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, f := range p.Funcs {
+			if mayReturn[f] {
+				continue
+			}
+			if p.reachesRet(f, mayReturn) {
+				mayReturn[f] = true
+				changed = true
+			}
+		}
+	}
+	return mayReturn
+}
+
+func (p *Program) reachesRet(f *FuncCFG, mayReturn map[*FuncCFG]bool) bool {
+	if len(f.Blocks) == 0 {
+		return false
+	}
+	seen := make([]bool, len(f.Blocks))
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := &f.Blocks[bi]
+		if b.term == termRet {
+			return true
+		}
+		for _, s := range f.blockSuccs(bi, func(callee string) bool {
+			g := p.byName[callee]
+			return g == nil || mayReturn[g]
+		}) {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// blockSuccs computes a block's successors; calleeReturns decides whether
+// a call falls through.  Bad branch targets simply yield no edge — the
+// checkFunc pass reports them.
+func (f *FuncCFG) blockSuccs(bi int, calleeReturns func(string) bool) []int {
+	b := &f.Blocks[bi]
+	var succs []int
+	fall := func() {
+		if b.End < len(f.Instrs) {
+			succs = append(succs, f.blockOf[b.End])
+		}
+	}
+	switch b.term {
+	case termJmp, termCond:
+		if t, ok := f.indexOf(uint32(f.Instrs[b.End-1].Imm)); ok {
+			succs = append(succs, f.blockOf[t])
+		}
+		if b.term == termCond {
+			fall()
+		}
+	case termCall:
+		if b.callee == "" || calleeReturns(b.callee) {
+			fall()
+		}
+	case termCallr, termFall:
+		fall()
+	case termRet, termExit:
+	}
+	return succs
+}
+
+func (p *Program) finishEdges(f *FuncCFG, mayReturn map[*FuncCFG]bool) {
+	for bi := range f.Blocks {
+		f.Blocks[bi].Succs = f.blockSuccs(bi, func(callee string) bool {
+			g := p.byName[callee]
+			return g == nil || mayReturn[g]
+		})
+	}
+}
+
+// computeReach marks instructions reachable from the function entry.
+// Unreachable bytes — like the deliberate invalid-opcode pad the linker
+// appends after _start's exit syscall — are never analyzed or flagged.
+func (f *FuncCFG) computeReach() {
+	f.reach = make([]bool, len(f.Instrs))
+	if len(f.Blocks) == 0 {
+		return
+	}
+	seen := make([]bool, len(f.Blocks))
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := f.Blocks[bi].Start; i < f.Blocks[bi].End; i++ {
+			f.reach[i] = true
+		}
+		for _, s := range f.Blocks[bi].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+// checkFunc reports the CFG pass findings for one function.
+func (p *Program) checkFunc(f *FuncCFG) {
+	im := p.Image
+	bad := func(i int, format string, args ...interface{}) {
+		p.Findings = append(p.Findings, Finding{
+			Pass: "cfg", Func: f.Sym.Name, Addr: f.Addr(i), Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	for i, in := range f.Instrs {
+		if !f.reach[i] {
+			continue
+		}
+		if !in.Op.Valid() {
+			bad(i, "undecodable opcode 0x%02x", uint8(in.Op))
+			continue
+		}
+		if !in.OperandsValid() {
+			bad(i, "%s: operand byte selects a nonexistent register", in)
+		}
+		switch {
+		case in.Op == isa.OpCall:
+			tgt := uint32(in.Imm)
+			if g := p.funcAt(tgt); g != nil {
+				f.callees = append(f.callees, g.Sym.Name)
+			} else {
+				bad(i, "call target 0x%08x is not a function entry", tgt)
+			}
+		case in.Op.IsBranch(): // jmp + conditionals
+			tgt := uint32(in.Imm)
+			if _, ok := f.indexOf(tgt); ok {
+				break
+			}
+			switch {
+			case tgt < image.TextBase || tgt >= im.TextEnd():
+				bad(i, "branch target 0x%08x outside the text segment", tgt)
+			case (tgt-image.TextBase)%isa.InstrBytes != 0:
+				bad(i, "branch into the middle of an instruction (target 0x%08x)", tgt)
+			default:
+				bad(i, "branch target 0x%08x outside the function", tgt)
+			}
+		}
+	}
+	for bi := range f.Blocks {
+		b := &f.Blocks[bi]
+		if !f.reach[b.Start] || b.End < len(f.Instrs) {
+			continue
+		}
+		fallsOff := false
+		switch b.term {
+		case termFall, termCallr:
+			fallsOff = true
+		case termCond, termCall:
+			// A conditional branch or a returning call as the very last
+			// instruction falls off on the not-taken / return path.
+			fallsOff = len(b.Succs) < 2 && b.term == termCond || b.term == termCall && calleeFallsThrough(p, b)
+		}
+		if fallsOff {
+			p.Findings = append(p.Findings, Finding{
+				Pass: "cfg", Func: f.Sym.Name, Addr: f.Addr(b.End - 1),
+				Msg: "control falls off the end of the function",
+			})
+		}
+	}
+}
+
+func calleeFallsThrough(p *Program, b *Block) bool {
+	if b.callee == "" {
+		return true
+	}
+	g := p.byName[b.callee]
+	return g == nil || !g.NoReturn
+}
+
+// markReachable walks call edges from the image entry point.  Any
+// reachable indirect call makes every function reachable — the analysis
+// has no value tracking for code addresses.
+func (p *Program) markReachable() {
+	entry := p.funcAt(p.Image.Entry)
+	if entry == nil {
+		p.Findings = append(p.Findings, Finding{
+			Pass: "cfg", Msg: fmt.Sprintf("entry point 0x%08x is not a function", p.Image.Entry),
+		})
+		return
+	}
+	var visit func(*FuncCFG)
+	visit = func(f *FuncCFG) {
+		if f.Reachable {
+			return
+		}
+		f.Reachable = true
+		for i, in := range f.Instrs {
+			if f.reach[i] && in.Op == isa.OpCallr {
+				p.hasCallr = true
+			}
+		}
+		for _, name := range f.callees {
+			if g := p.byName[name]; g != nil {
+				visit(g)
+			}
+		}
+	}
+	visit(entry)
+	if p.hasCallr {
+		for _, f := range p.Funcs {
+			f.Reachable = true
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mpifault/internal/abi"
+	"mpifault/internal/cluster"
+	"mpifault/internal/image"
+	"mpifault/internal/mpi"
+	"mpifault/internal/vm"
+)
+
+// MPILintResult is the outcome of the communication lint: the findings
+// plus the match statistics behind them.
+type MPILintResult struct {
+	Findings []Finding
+	Ops      int // point-to-point operations recorded
+	Matched  int // send/recv pairs matched
+	Hang     bool
+	Cause    string
+}
+
+// MPILint executes the image once under the cluster with a recording
+// hook on every rank and lints the observed point-to-point traffic:
+// unmatched sends or receives, matched pairs whose receive buffer
+// truncates the payload, tag mismatches between otherwise-paired
+// endpoints, and wait-for cycles among blocking operations (an MPI_Send
+// edge only counts when the payload exceeds the eager threshold, since
+// eager sends complete without a partner).  Collective-internal traffic
+// is runtime-private and deliberately out of scope.
+func MPILint(im *image.Image, ranks int, mpiCfg mpi.Config, budget uint64, wall time.Duration) *MPILintResult {
+	var mu sync.Mutex
+	var ops []mpi.CommOp
+	res := cluster.Run(cluster.Job{
+		Image:     im,
+		Size:      ranks,
+		MPIConfig: mpiCfg,
+		Budget:    budget,
+		WallLimit: wall,
+		Setup: func(rank int, m *vm.Machine, p *mpi.Proc) {
+			p.CommHook = func(op mpi.CommOp) {
+				mu.Lock()
+				ops = append(ops, op)
+				mu.Unlock()
+			}
+		},
+	})
+	out := &MPILintResult{Ops: len(ops)}
+	if res.HangDetected {
+		out.Hang, out.Cause = true, res.HangCause
+		out.Findings = append(out.Findings, Finding{
+			Pass: "mpi", Msg: fmt.Sprintf("clean run hangs: %s", res.HangCause),
+		})
+	}
+	for r := 0; r < ranks; r++ {
+		if t := res.Ranks[r].Trap; t != nil && t.Kind != vm.TrapExit {
+			out.Findings = append(out.Findings, Finding{
+				Pass: "mpi", Msg: fmt.Sprintf("rank %d died during the recording run: %v", r, t),
+			})
+		}
+	}
+	lintOps(ops, eagerThreshold(mpiCfg), out)
+	return out
+}
+
+func eagerThreshold(cfg mpi.Config) uint32 {
+	if cfg.EagerThreshold == 0 {
+		return 1024
+	}
+	return cfg.EagerThreshold
+}
+
+// lintOps matches the recorded operations and reports the mismatches.
+// Matching is a two-phase multiset pairing in recorded order: concrete
+// receives first (exact source), then wildcard receives sweep what is
+// left — the same precedence the runtime's envelope matching uses.
+func lintOps(ops []mpi.CommOp, eager uint32, out *MPILintResult) {
+	type opRef struct {
+		mpi.CommOp
+		matched bool
+		seq     int
+	}
+	var sends, recvs []*opRef
+	for i, op := range ops {
+		r := &opRef{CommOp: op, seq: i}
+		if op.Send {
+			sends = append(sends, r)
+		} else {
+			recvs = append(recvs, r)
+		}
+	}
+	match := func(rv *opRef) *opRef {
+		for _, s := range sends {
+			if s.matched || s.Peer != int32(rv.Rank) {
+				continue
+			}
+			if rv.Peer != abi.AnySource && int32(s.Rank) != rv.Peer {
+				continue
+			}
+			if rv.Tag != abi.AnyTag && s.Tag != rv.Tag {
+				continue
+			}
+			return s
+		}
+		return nil
+	}
+	runPhase := func(wildcard bool) {
+		for _, rv := range recvs {
+			if rv.matched || (rv.Peer == abi.AnySource || rv.Tag == abi.AnyTag) != wildcard {
+				continue
+			}
+			if s := match(rv); s != nil {
+				s.matched, rv.matched = true, true
+				out.Matched++
+				if s.Bytes > rv.Bytes {
+					out.Findings = append(out.Findings, Finding{
+						Pass: "mpi",
+						Msg: fmt.Sprintf("count mismatch: %s of %d bytes (rank %d -> %d, tag %d) truncated by a %d-byte receive buffer",
+							s.Fn, s.Bytes, s.Rank, rv.Rank, s.Tag, rv.Bytes),
+					})
+				}
+			}
+		}
+	}
+	runPhase(false)
+	runPhase(true)
+
+	for _, s := range sends {
+		if !s.matched {
+			out.Findings = append(out.Findings, Finding{
+				Pass: "mpi",
+				Msg: fmt.Sprintf("unmatched send: %s rank %d -> %d, tag %d, %d bytes",
+					s.Fn, s.Rank, s.Peer, s.Tag, s.Bytes),
+			})
+		}
+	}
+	for _, rv := range recvs {
+		if !rv.matched {
+			out.Findings = append(out.Findings, Finding{
+				Pass: "mpi",
+				Msg: fmt.Sprintf("unmatched receive: %s rank %d <- %d, tag %d",
+					rv.Fn, rv.Rank, rv.Peer, rv.Tag),
+			})
+		}
+	}
+	// Tag-mismatch hints: an unmatched send and an unmatched receive
+	// joining the same endpoints with different tags almost certainly
+	// meant to pair up.
+	for _, s := range sends {
+		if s.matched {
+			continue
+		}
+		for _, rv := range recvs {
+			if rv.matched || s.Peer != int32(rv.Rank) || rv.Peer != int32(s.Rank) || s.Tag == rv.Tag {
+				continue
+			}
+			out.Findings = append(out.Findings, Finding{
+				Pass: "mpi",
+				Msg: fmt.Sprintf("tag mismatch: rank %d sends tag %d to rank %d, which only posts tag %d from it",
+					s.Rank, s.Tag, rv.Rank, rv.Tag),
+			})
+			break
+		}
+	}
+
+	// Wait-for cycles over the unmatched blocking operations: a blocking
+	// receive makes its rank wait for the source; an unmatched send
+	// beyond the eager threshold waits for the destination (rendezvous).
+	waitsFor := make(map[int]map[int]string)
+	edge := func(from, to int, why string) {
+		if waitsFor[from] == nil {
+			waitsFor[from] = make(map[int]string)
+		}
+		if _, dup := waitsFor[from][to]; !dup {
+			waitsFor[from][to] = why
+		}
+	}
+	for _, rv := range recvs {
+		if !rv.matched && rv.Blocking && rv.Peer != abi.AnySource {
+			edge(rv.Rank, int(rv.Peer), fmt.Sprintf("%s tag %d", rv.Fn, rv.Tag))
+		}
+	}
+	for _, s := range sends {
+		if !s.matched && s.Blocking && s.Bytes > eager {
+			edge(s.Rank, int(s.Peer), fmt.Sprintf("rendezvous %s tag %d", s.Fn, s.Tag))
+		}
+	}
+	if cyc := findCycle(waitsFor); len(cyc) > 0 {
+		desc := ""
+		for i, r := range cyc {
+			next := cyc[(i+1)%len(cyc)]
+			if i > 0 {
+				desc += ", "
+			}
+			desc += fmt.Sprintf("rank %d waits for %d (%s)", r, next, waitsFor[r][next])
+		}
+		out.Findings = append(out.Findings, Finding{
+			Pass: "mpi", Msg: "wait-for cycle: " + desc,
+		})
+	}
+}
+
+// findCycle returns one cycle in the wait-for graph as a rank list, or
+// nil.  Ranks are visited in order so the report is deterministic.
+func findCycle(g map[int]map[int]string) []int {
+	var nodes []int
+	for n := range g {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	var stack []int
+	var found []int
+	var dfs func(n int) bool
+	dfs = func(n int) bool {
+		color[n] = gray
+		stack = append(stack, n)
+		var tos []int
+		for to := range g[n] {
+			tos = append(tos, to)
+		}
+		sort.Ints(tos)
+		for _, to := range tos {
+			switch color[to] {
+			case white:
+				if dfs(to) {
+					return true
+				}
+			case gray:
+				for i, r := range stack {
+					if r == to {
+						found = append(found, stack[i:]...)
+						return true
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && dfs(n) {
+			return found
+		}
+	}
+	return nil
+}

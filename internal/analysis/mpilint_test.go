@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpifault/internal/abi"
+	"mpifault/internal/apps"
+	"mpifault/internal/asm"
+	"mpifault/internal/guest"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+	"mpifault/internal/mpi"
+)
+
+// TestMPILintCleanWavetoy: a correct app's recorded traffic must pair up
+// completely.
+func TestMPILintCleanWavetoy(t *testing.T) {
+	a, err := apps.Get("wavetoy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := a.Default
+	cfg.Ranks, cfg.Steps, cfg.Scale = 4, 2, 32
+	im, err := a.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := MPILint(im, cfg.Ranks, mpi.Config{}, 0, 20*time.Second)
+	for _, f := range res.Findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	if res.Ops == 0 || res.Matched == 0 {
+		t.Errorf("no traffic recorded: ops=%d matched=%d", res.Ops, res.Matched)
+	}
+	if res.Ops != 2*res.Matched {
+		t.Errorf("%d ops but only %d pairs", res.Ops, res.Matched)
+	}
+}
+
+// buildMPIApp links a two-rank app whose per-rank behavior is emitted by
+// rank0/rank1.
+func buildMPIApp(t *testing.T, rank0, rank1 func(f *asm.Func)) *image.Image {
+	t.Helper()
+	b := asm.NewBuilder()
+	guest.AddLibc(b)
+	guest.AddLibMPI(b)
+	m := b.Module("app", image.OwnerUser)
+	m.BSS("buf", 64)
+	f := m.Func("main")
+	f.Prologue(0)
+	f.CallArgs("MPI_Init")
+	f.CallArgs("MPI_Comm_rank", asm.Imm(abi.CommWorld))
+	other := f.NewLabel()
+	done := f.NewLabel()
+	f.Cmpi(isa.R0, 0)
+	f.Bne(other)
+	rank0(f)
+	f.Jmp(done)
+	f.Label(other)
+	rank1(f)
+	f.Label(done)
+	f.CallArgs("MPI_Finalize")
+	f.Movi(isa.R0, 0)
+	f.Epilogue()
+	im, err := b.Link(asm.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func hasFinding(fs []Finding, substr string) bool {
+	for _, f := range fs {
+		if strings.Contains(f.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMPILintTagMismatch: rank 0 sends tag 7, rank 1 expects tag 8 — the
+// lint must flag the unmatched halves and hint at the tag mismatch.
+func TestMPILintTagMismatch(t *testing.T) {
+	im := buildMPIApp(t,
+		func(f *asm.Func) {
+			f.CallArgs("MPI_Send", asm.Sym("buf"), asm.Imm(1), asm.Imm(abi.DTInt32),
+				asm.Imm(1), asm.Imm(7), asm.Imm(abi.CommWorld))
+		},
+		func(f *asm.Func) {
+			f.CallArgs("MPI_Recv", asm.Sym("buf"), asm.Imm(1), asm.Imm(abi.DTInt32),
+				asm.Imm(0), asm.Imm(8), asm.Imm(abi.CommWorld), asm.Imm(0))
+		})
+	res := MPILint(im, 2, mpi.Config{}, 0, 10*time.Second)
+	if !hasFinding(res.Findings, "unmatched send") {
+		t.Errorf("missing unmatched-send finding: %v", res.Findings)
+	}
+	if !hasFinding(res.Findings, "unmatched receive") {
+		t.Errorf("missing unmatched-receive finding: %v", res.Findings)
+	}
+	if !hasFinding(res.Findings, "tag mismatch") {
+		t.Errorf("missing tag-mismatch finding: %v", res.Findings)
+	}
+}
+
+// TestMPILintRecvCycle: both ranks block receiving from each other — the
+// lint must report the wait-for cycle.
+func TestMPILintRecvCycle(t *testing.T) {
+	recvFrom := func(peer int32) func(f *asm.Func) {
+		return func(f *asm.Func) {
+			f.CallArgs("MPI_Recv", asm.Sym("buf"), asm.Imm(1), asm.Imm(abi.DTInt32),
+				asm.Imm(peer), asm.Imm(1), asm.Imm(abi.CommWorld), asm.Imm(0))
+		}
+	}
+	im := buildMPIApp(t, recvFrom(1), recvFrom(0))
+	res := MPILint(im, 2, mpi.Config{}, 0, 10*time.Second)
+	if !res.Hang {
+		t.Error("deadlocked app not reported as hanging")
+	}
+	if !hasFinding(res.Findings, "wait-for cycle") {
+		t.Errorf("missing wait-for-cycle finding: %v", res.Findings)
+	}
+}

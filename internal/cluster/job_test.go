@@ -10,6 +10,7 @@ import (
 	"mpifault/internal/guest"
 	"mpifault/internal/image"
 	"mpifault/internal/isa"
+	"mpifault/internal/vm"
 )
 
 // buildHello links a single-rank program that prints a string and exits.
@@ -291,8 +292,10 @@ func TestMPIArgCheckRaisesHandler(t *testing.T) {
 		t.Fatalf("link: %v", err)
 	}
 	res := Run(Job{Image: im, Size: 2, Budget: 1_000_000})
-	tr := res.Ranks[0].Trap
-	if tr == nil || tr.Kind.String() != "mpi-handler" {
+	// Both ranks raise the handler; whichever traps first kills the
+	// other, so ask for the job-level verdict rather than rank 0's.
+	tr := res.FirstFailure()
+	if tr == nil || tr.Kind != vm.TrapMPIHandler {
 		t.Fatalf("want mpi-handler, got %v", tr)
 	}
 }

@@ -63,6 +63,9 @@ type Experiment struct {
 	Trigger uint64 // instruction count, or received-byte offset for messages
 	Desc    string // what was flipped (filled in during the run)
 	Outcome classify.Outcome
+	// Candidates is the register-bit candidate-set size the injection
+	// sampled from: 320 undirected, fewer under a liveness policy.
+	Candidates int
 }
 
 // Config parameterizes an injection campaign for one application image.
@@ -88,6 +91,12 @@ type Config struct {
 	Progress func(done, total int)
 	// KeepExperiments retains the per-injection records in the result.
 	KeepExperiments bool
+	// Liveness, when non-nil, directs register-region injections by the
+	// static per-PC liveness it reports (see internal/analysis).
+	Liveness LivenessMap
+	// LivenessPolicy selects live-only or dead-only register sampling;
+	// meaningful only with Liveness set.
+	LivenessPolicy LivenessPolicy
 }
 
 // Tally aggregates outcomes for one region.
@@ -125,6 +134,9 @@ type Result struct {
 	Tallies     []Tally
 	Golden      *Golden
 	Experiments []Experiment
+	// Directed summarizes the candidate-space pruning when the campaign
+	// ran with a liveness map; nil otherwise.
+	Directed *DirectedStats
 }
 
 // Tally returns the tally for a region, if present.
@@ -203,6 +215,18 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 
 	res := &Result{Golden: golden}
+	if cfg.Liveness != nil {
+		d := &DirectedStats{Policy: cfg.LivenessPolicy}
+		for _, e := range experiments {
+			if e.Region != RegionRegularReg {
+				continue
+			}
+			d.Experiments++
+			d.Candidates += uint64(e.Candidates)
+			d.Total += RegisterSpaceBits
+		}
+		res.Directed = d
+	}
 	for _, region := range cfg.Regions {
 		t := Tally{Region: region}
 		for _, e := range experiments {
@@ -225,9 +249,10 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 	e.Rank = r.Intn(cfg.Ranks)
 
 	var (
-		mi      *MessageInjector
-		descMu  sync.Mutex
-		applied string
+		mi         *MessageInjector
+		descMu     sync.Mutex
+		applied    string
+		candidates int
 	)
 	job := cluster.Job{
 		Image:     cfg.Image,
@@ -264,9 +289,14 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 			m.TriggerAt = e.Trigger
 			m.TriggerFn = func(m *vm.Machine) {
 				var d string
+				var cand int
 				switch region {
 				case RegionRegularReg:
-					d = ApplyRegisterFault(m, faultRng)
+					if cfg.Liveness != nil {
+						d, cand = ApplyRegisterFaultDirected(m, faultRng, cfg.Liveness, cfg.LivenessPolicy)
+					} else {
+						d, cand = ApplyRegisterFault(m, faultRng), RegisterSpaceBits
+					}
 				case RegionFPReg:
 					d = ApplyFPRegisterFault(m, faultRng)
 				case RegionText, RegionData, RegionBSS:
@@ -277,7 +307,7 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 					d = ApplyStackFault(m, faultRng)
 				}
 				descMu.Lock()
-				applied = d
+				applied, candidates = d, cand
 				descMu.Unlock()
 			}
 		}
@@ -290,6 +320,7 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 	} else {
 		descMu.Lock()
 		e.Desc = applied
+		e.Candidates = candidates
 		descMu.Unlock()
 	}
 }

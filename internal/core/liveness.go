@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"mpifault/internal/isa"
+	"mpifault/internal/rng"
+	"mpifault/internal/vm"
+)
+
+// LivenessMap supplies per-PC register liveness from a static analysis
+// (internal/analysis implements it).  The mask covers the GPRs in bits
+// 0..NumGPR-1 and the flags word in bit NumGPR; a sound map
+// overapproximates, so a clear bit proves the register's value is dead
+// at that point.
+type LivenessMap interface {
+	LiveAt(pc uint32) (mask uint16, ok bool)
+}
+
+// LivenessPolicy selects how a register-fault campaign uses a
+// LivenessMap.
+type LivenessPolicy int
+
+const (
+	// LiveTargetAll ignores the map: uniform sampling over all 320
+	// register-context bits, the paper's baseline.
+	LiveTargetAll LivenessPolicy = iota
+	// LiveTargetLive samples only bits the analysis considers live at
+	// the injection point — the AVF-style acceleration: dead bits are
+	// provably Correct, so skipping them loses no error coverage.
+	LiveTargetLive
+	// LiveTargetDead samples only provably-dead bits; every outcome
+	// must classify Correct, which makes it the soundness check for
+	// the analysis itself.
+	LiveTargetDead
+)
+
+func (p LivenessPolicy) String() string {
+	switch p {
+	case LiveTargetLive:
+		return "live"
+	case LiveTargetDead:
+		return "dead"
+	default:
+		return "all"
+	}
+}
+
+// DirectedStats aggregates the candidate-bit counts a liveness-directed
+// campaign observed, quantifying how much of the register sampling
+// space the analysis prunes.
+type DirectedStats struct {
+	Policy      LivenessPolicy
+	Experiments int    // register-region experiments that consulted the map
+	Candidates  uint64 // sum of per-injection candidate bits
+	Total       uint64 // sum of per-injection full spaces (320 each)
+}
+
+// Fraction returns the mean candidate share of the full space.
+func (d *DirectedStats) Fraction() float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	return float64(d.Candidates) / float64(d.Total)
+}
+
+// Speedup returns the expected campaign acceleration from sampling only
+// the candidate bits: with fraction f of bits live, covering them to a
+// fixed density needs f of the baseline's injections, a 1/f speedup.
+func (d *DirectedStats) Speedup() float64 {
+	f := d.Fraction()
+	if f == 0 {
+		return 0
+	}
+	return 1 / f
+}
+
+// RegisterSpaceBits is ApplyRegisterFault's sampling space: 8 GPRs +
+// PC + FLAGS, 32 bits each.
+const RegisterSpaceBits = (isa.NumGPR + 2) * 32
+
+// flagsReadableBits is how many flag bits the ISA ever reads back
+// (Z/LT/UL/UN); the remaining 28 are architecturally dead everywhere.
+const flagsReadableBits = 4
+
+// ApplyRegisterFaultDirected flips one register-context bit chosen
+// uniformly from the candidate set the liveness map and policy select
+// at the machine's current PC (the trigger fires before Step, so m.PC
+// is the instruction about to execute).  It returns the flip
+// description and the candidate-set size.  When the map has no answer
+// for the PC — mid-library, unreachable pad — it falls back to the
+// undirected ApplyRegisterFault over the full space.
+func ApplyRegisterFaultDirected(m *vm.Machine, r *rng.Rand, lm LivenessMap, policy LivenessPolicy) (string, int) {
+	mask, ok := lm.LiveAt(m.PC)
+	if !ok || policy == LiveTargetAll {
+		return ApplyRegisterFault(m, r), RegisterSpaceBits
+	}
+
+	// Candidate bits, in ApplyRegisterFault's target order: GPR bits,
+	// then PC (always live — it steers control no matter what), then
+	// the flags word with only 4 readable bits.
+	type span struct {
+		target int // 0..7 GPR, 8 PC, 9 flags
+		bits   int
+	}
+	var spans []span
+	flagsLive := mask&(1<<isa.NumGPR) != 0
+	switch policy {
+	case LiveTargetLive:
+		for g := 0; g < isa.NumGPR; g++ {
+			if mask&(1<<g) != 0 {
+				spans = append(spans, span{g, 32})
+			}
+		}
+		spans = append(spans, span{8, 32})
+		if flagsLive {
+			spans = append(spans, span{9, flagsReadableBits})
+		}
+	case LiveTargetDead:
+		for g := 0; g < isa.NumGPR; g++ {
+			if mask&(1<<g) == 0 {
+				spans = append(spans, span{g, 32})
+			}
+		}
+		// PC is never dead.  Flag bits 4..31 are never read back, so
+		// they are dead even when the low flags are live.
+		if flagsLive {
+			spans = append(spans, span{9, 32 - flagsReadableBits})
+		} else {
+			spans = append(spans, span{9, 32})
+		}
+	}
+	n := 0
+	for _, s := range spans {
+		n += s.bits
+	}
+	if n == 0 {
+		// Nothing live besides PC cannot happen (PC is always a live
+		// candidate); nothing dead can, if every GPR and the flags are
+		// live.  Skip the flip and report an empty candidate set.
+		return fmt.Sprintf("no %s bits at pc %#x", policy, m.PC), 0
+	}
+
+	pick := r.Intn(n)
+	for _, s := range spans {
+		if pick >= s.bits {
+			pick -= s.bits
+			continue
+		}
+		bit := uint(pick)
+		if s.target == 9 && policy == LiveTargetDead && flagsLive {
+			bit += flagsReadableBits // skip the readable low bits
+		}
+		suffix := fmt.Sprintf(" [%s-directed]", policy)
+		switch {
+		case s.target < isa.NumGPR:
+			m.Regs[s.target] ^= 1 << bit
+			return fmt.Sprintf("%s bit %d%s", isa.GPRName(s.target), bit, suffix), n
+		case s.target == 8:
+			m.PC ^= 1 << bit
+			return fmt.Sprintf("pc bit %d%s", bit, suffix), n
+		default:
+			m.Flags ^= 1 << bit
+			return fmt.Sprintf("flags bit %d%s", bit, suffix), n
+		}
+	}
+	panic("core: candidate pick out of range")
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpifault/internal/analysis"
+	"mpifault/internal/apps"
+	"mpifault/internal/classify"
+	"mpifault/internal/mpi"
+)
+
+// TestDeadBitInjectionsAllCorrect is the soundness regression for the
+// static liveness analysis: a campaign restricted to provably-dead
+// register bits must never manifest.  A single failure here means the
+// analyzer marked a consequential bit dead — exactly the bug class the
+// dead policy exists to catch.
+func TestDeadBitInjectionsAllCorrect(t *testing.T) {
+	a, err := apps.Get("wavetoy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appCfg := a.Default
+	appCfg.Ranks, appCfg.Steps, appCfg.Scale = 4, 3, 32
+	im, err := a.Build(appCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := analysis.Analyze(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := analysis.ComputeLiveness(prog)
+	if fs := append(prog.Findings, live.Findings...); len(fs) > 0 {
+		t.Fatalf("analysis findings on wavetoy: %v", fs)
+	}
+
+	res, err := Run(Config{
+		Image:           im,
+		Ranks:           appCfg.Ranks,
+		MPIConfig:       mpi.Config{},
+		Injections:      14,
+		Regions:         []Region{RegionRegularReg},
+		Seed:            7,
+		WallLimit:       30 * time.Second,
+		KeepExperiments: true,
+		Liveness:        live,
+		LivenessPolicy:  LiveTargetDead,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	directed := 0
+	for _, e := range res.Experiments {
+		if e.Outcome != classify.Correct {
+			t.Errorf("dead-bit flip manifested as %v: %q (trigger %d, rank %d)",
+				e.Outcome, e.Desc, e.Trigger, e.Rank)
+		}
+		if strings.Contains(e.Desc, "[dead-directed]") {
+			directed++
+			if e.Candidates <= 0 || e.Candidates >= RegisterSpaceBits {
+				t.Errorf("experiment %q: candidate set %d not a strict subset of %d",
+					e.Desc, e.Candidates, RegisterSpaceBits)
+			}
+		}
+	}
+	if directed == 0 {
+		t.Fatal("no injection actually consulted the liveness map")
+	}
+
+	d := res.Directed
+	if d == nil {
+		t.Fatal("campaign with Liveness set returned nil DirectedStats")
+	}
+	if d.Policy != LiveTargetDead || d.Experiments != len(res.Experiments) {
+		t.Errorf("DirectedStats = %+v, want dead policy over %d experiments", d, len(res.Experiments))
+	}
+	if f := d.Fraction(); f <= 0 || f >= 1 {
+		t.Errorf("dead-candidate fraction = %.3f, want strictly inside (0,1)", f)
+	}
+}
+
+// TestLiveDirectedSpeedup checks the acceleration bookkeeping for the
+// useful policy: live-only sampling prunes the space, so the reported
+// speedup must exceed 1x, and every directed experiment's candidate
+// count must stay within the full space.
+func TestLiveDirectedSpeedup(t *testing.T) {
+	a, err := apps.Get("wavetoy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appCfg := a.Default
+	appCfg.Ranks, appCfg.Steps, appCfg.Scale = 4, 3, 32
+	im, err := a.Build(appCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := analysis.Analyze(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := analysis.ComputeLiveness(prog)
+
+	res, err := Run(Config{
+		Image:           im,
+		Ranks:           appCfg.Ranks,
+		MPIConfig:       mpi.Config{},
+		Injections:      10,
+		Regions:         []Region{RegionRegularReg},
+		Seed:            11,
+		WallLimit:       30 * time.Second,
+		KeepExperiments: true,
+		Liveness:        live,
+		LivenessPolicy:  LiveTargetLive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Directed
+	if d == nil || d.Experiments == 0 {
+		t.Fatalf("DirectedStats = %+v, want live-directed aggregate", d)
+	}
+	if s := d.Speedup(); s <= 1 {
+		t.Errorf("live-directed speedup = %.2fx, want > 1x", s)
+	}
+	for _, e := range res.Experiments {
+		if e.Candidates <= 0 || e.Candidates > RegisterSpaceBits {
+			t.Errorf("experiment %q: candidates = %d outside (0, %d]", e.Desc, e.Candidates, RegisterSpaceBits)
+		}
+	}
+}

@@ -17,15 +17,17 @@ type Instr struct {
 	Imm int32 // immediate / absolute branch target / displacement
 }
 
-// Note on operand packing: the encoding carries exactly three register
-// bytes.  Register-register-register forms use (Rd, Ra, Rb).  Store forms
-// need (base, index, source); they pack the source register in the Rd slot,
-// which the store accessors below paper over.
-
-// Rc returns the store-source register byte (stores reuse the Rd slot).
+// Rc returns the store-source register byte.  The fixed encoding carries
+// exactly three register bytes: register-register-register forms use
+// (Rd, Ra, Rb), while the store forms need (base, index, source) and
+// transmit the source in the Rd slot.  The effects table (effects.go)
+// records this slot sharing as OperandRc, so analyses that ask "which
+// registers does this instruction read?" (Instr.SrcGPRs) see the store
+// source without special-casing; Rc and SetRc are the only code that
+// should touch the raw slot.
 func (i Instr) Rc() uint8 { return i.Rd }
 
-// SetRc sets the store-source register byte.
+// SetRc sets the store-source register byte (see Rc for the slot sharing).
 func (i *Instr) SetRc(r uint8) { i.Rd = r }
 
 // Encode writes the 8-byte encoding of i into b, which must have room for
@@ -112,6 +114,34 @@ func (i Instr) String() string {
 		if info.hasImm {
 			emit(fmt.Sprintf("%d", i.Imm))
 		}
+	}
+	return s
+}
+
+// Disasm renders the instruction like String, additionally annotating
+// address-bearing immediates — branch targets, absolute memory operands
+// and movi constants — with the symbol-relative location reported by
+// resolve.  resolve maps an address to a name like "wavetoy_compute" or
+// "g_ucurr+0x8" and returns "" for addresses it does not know; a nil
+// resolve makes Disasm identical to String.
+func (i Instr) Disasm(resolve func(addr uint32) string) string {
+	s := i.String()
+	if resolve == nil || !i.Op.Valid() {
+		return s
+	}
+	var addr uint32
+	switch {
+	case i.Op.IsBranch():
+		addr = uint32(i.Imm)
+	case i.Op.IsMemForm() && i.Ra == RegNone && i.Rb == RegNone:
+		addr = uint32(i.Imm)
+	case i.Op == OpMovi:
+		addr = uint32(i.Imm)
+	default:
+		return s
+	}
+	if name := resolve(addr); name != "" {
+		return s + "  <" + name + ">"
 	}
 	return s
 }

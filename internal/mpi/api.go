@@ -219,6 +219,8 @@ func (p *Proc) Send(m *vm.Machine, buf uint32, count, dtype, dest, tag, comm int
 	if t != nil {
 		return t
 	}
+	p.recordComm(CommOp{Fn: "MPI_Send", Send: true, Peer: ci.world(dest), Tag: tag,
+		Bytes: uint32(len(payload)), Blocking: true})
 	return p.sendBytes(ci.world(dest), tag, ci.ctx, dtype, payload, m)
 }
 
@@ -229,6 +231,8 @@ func (p *Proc) Isend(m *vm.Machine, buf uint32, count, dtype, dest, tag, comm in
 	if t != nil {
 		return 0, t
 	}
+	p.recordComm(CommOp{Fn: "MPI_Isend", Send: true, Peer: ci.world(dest), Tag: tag,
+		Bytes: uint32(len(payload))})
 	r, t := p.startSend(m, payload, ci.world(dest), tag, ci.ctx, dtype)
 	if t != nil {
 		return 0, t
@@ -258,6 +262,27 @@ func (p *Proc) recvChecks(m *vm.Machine, count, dtype, source, tag, comm int32) 
 }
 
 // worldSource maps a communicator source (or AnySource) to world terms.
+// CommOp records one point-to-point operation observed at the API
+// layer, in world-rank terms.  The static MPI lint matches the sends
+// and receives of a clean run against each other; wildcard receives
+// keep abi.AnySource/abi.AnyTag in Peer/Tag.
+type CommOp struct {
+	Rank     int    // world rank issuing the operation
+	Fn       string // MPI function name, e.g. "MPI_Send"
+	Send     bool   // send half (false: receive half)
+	Peer     int32  // world destination/source; abi.AnySource on wildcard receives
+	Tag      int32  // abi.AnyTag on wildcard receives
+	Bytes    uint32 // payload bytes sent, or the receive buffer limit
+	Blocking bool   // the call cannot return before a partner shows up
+}
+
+func (p *Proc) recordComm(op CommOp) {
+	if p.CommHook != nil {
+		op.Rank = p.rank
+		p.CommHook(op)
+	}
+}
+
 func worldSource(ci *commInfo, source int32) int32 {
 	if source == abi.AnySource {
 		return abi.AnySource
@@ -274,6 +299,8 @@ func (p *Proc) Recv(m *vm.Machine, buf uint32, count, dtype, source, tag, comm i
 		return t
 	}
 	limit := uint32(count) * abi.DTSize(dtype)
+	p.recordComm(CommOp{Fn: "MPI_Recv", Peer: worldSource(ci, source), Tag: tag,
+		Bytes: limit, Blocking: true})
 	r, t := p.startRecv(m, buf, limit, dtype, worldSource(ci, source), tag, ci.ctx, status)
 	if t != nil {
 		return t
@@ -297,6 +324,8 @@ func (p *Proc) Irecv(m *vm.Machine, buf uint32, count, dtype, source, tag, comm 
 		return 0, t
 	}
 	limit := uint32(count) * abi.DTSize(dtype)
+	p.recordComm(CommOp{Fn: "MPI_Irecv", Peer: worldSource(ci, source), Tag: tag,
+		Bytes: limit})
 	r, t := p.startRecv(m, buf, limit, dtype, worldSource(ci, source), tag, ci.ctx, 0)
 	if t != nil {
 		return 0, t
@@ -372,6 +401,12 @@ func (p *Proc) Sendrecv(m *vm.Machine, sbuf uint32, scount, dtype, dest, stag in
 		return p.apiError(m, abi.ErrCount, "negative receive count %d", rcount)
 	}
 	limit := uint32(rcount) * abi.DTSize(dtype)
+	// Both halves are posted before either blocks, so neither half can
+	// be the sole cause of a wait-for edge; record them non-blocking.
+	p.recordComm(CommOp{Fn: "MPI_Sendrecv", Send: true, Peer: ci.world(dest), Tag: stag,
+		Bytes: uint32(len(payload))})
+	p.recordComm(CommOp{Fn: "MPI_Sendrecv", Peer: worldSource(ci, source), Tag: rtag,
+		Bytes: limit})
 	rr, t := p.startRecv(m, rbuf, limit, dtype, worldSource(ci, source), rtag, ci.ctx, 0)
 	if t != nil {
 		return t

@@ -110,6 +110,12 @@ type Proc struct {
 	// Channel read and before parsing — the message fault injector.
 	RecvHook func(pkt []byte)
 
+	// CommHook, when set, observes every point-to-point operation at the
+	// API layer, after argument validation and before any blocking — the
+	// recording point for the MPI communication lint
+	// (internal/analysis.MPILint).
+	CommHook func(CommOp)
+
 	Stats Stats
 
 	errhandler uint32 // guest address of the registered error handler, 0 if none

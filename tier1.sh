@@ -1,0 +1,28 @@
+#!/bin/sh
+# tier1.sh — the repo's tier-1 gate: formatting, vet, build, the full
+# test suite under the race detector, and a clean faultlint run over the
+# three guest applications.  Exits nonzero on the first failure.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== faultlint =="
+go run ./cmd/faultlint
+
+echo "tier1: OK"
