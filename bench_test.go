@@ -95,6 +95,27 @@ func benchCampaign(b *testing.B, name string, injections int) {
 	}
 }
 
+// BenchmarkCampaign is the macro benchmark for the execution-acceleration
+// layer: a fixed-seed reduced campaign (all eight regions) over wavetoy.
+// Identical seeds make the before/after numbers in BENCH_vm.json directly
+// comparable — and the tallies must be bit-identical across the
+// predecode/COW optimisation.
+func BenchmarkCampaign(b *testing.B) {
+	im, cfg := builtApp(b, "wavetoy")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.Config{
+			Image: im, Ranks: cfg.Ranks,
+			Injections: 4, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg, _ := res.Tally(core.RegionRegularReg)
+		b.ReportMetric(reg.ErrorRate(), "reg-error-%")
+	}
+}
+
 func BenchmarkTable2Wavetoy(b *testing.B) { benchCampaign(b, "wavetoy", 4) }
 func BenchmarkTable3NAMD(b *testing.B)    { benchCampaign(b, "minimd", 4) }
 func BenchmarkTable4CAM(b *testing.B)     { benchCampaign(b, "minicam", 4) }

@@ -7,6 +7,7 @@
 //	faultcampaign [-app wavetoy|minimd|minicam|all] [-n 500] [-seed 1]
 //	              [-regions reg,fp,...] [-csv] [-quiet]
 //	              [-liveness live|dead] [-predict]
+//	              [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // -liveness directs register-region injections by the static analysis
 // in internal/analysis: "live" samples only statically-live bits (same
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,9 +44,35 @@ func main() {
 	par := flag.Int("parallel", 0, "concurrent experiment jobs (0 = auto)")
 	liveness := flag.String("liveness", "", "direct register injections by static liveness (live or dead)")
 	predict := flag.Bool("predict", false, "print the static AVF prediction next to the measured rates")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcampaign: ")
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	var regionList []core.Region
 	if *regions != "" {

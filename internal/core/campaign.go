@@ -316,7 +316,7 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 	res := cluster.Run(job)
 	e.Outcome = classify.Classify(res, golden.Output)
 	if mi != nil {
-		e.Desc = mi.Desc
+		_, e.Desc = mi.Report()
 	} else {
 		descMu.Lock()
 		e.Desc = applied

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mpifault/internal/abi"
 	"mpifault/internal/isa"
@@ -263,32 +264,44 @@ func ApplyStackFault(m *vm.Machine, r *rng.Rand) string {
 // MessageInjector corrupts one bit of a rank's incoming Channel stream
 // once the received-volume counter reaches the trigger offset (§3.3).
 // Install its Hook as the rank's RecvHook.
+//
+// The Hook runs on whatever goroutine performs the Channel recv, while
+// the campaign reads the outcome from its own experiment goroutine; the
+// injector therefore guards its state with a mutex rather than relying
+// on the job join for the happens-before edge.
 type MessageInjector struct {
 	TriggerByte uint64 // offset into the cumulative received byte stream
 	Bit         uint   // bit to flip within the chosen byte
 
+	mu       sync.Mutex
 	seen     uint64
-	Injected bool
-	Desc     string
+	injected bool
+	desc     string
 }
 
 // Hook implements the Channel-layer injection point: it runs on the raw
 // bytes of each received packet, immediately after the recv and before
 // parsing.
 func (mi *MessageInjector) Hook(pkt []byte) {
-	if mi.Injected {
-		mi.seen += uint64(len(pkt))
-		return
-	}
-	if mi.TriggerByte < mi.seen+uint64(len(pkt)) {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	if !mi.injected && mi.TriggerByte < mi.seen+uint64(len(pkt)) {
 		idx := mi.TriggerByte - mi.seen
 		pkt[idx] ^= 1 << mi.Bit
-		mi.Injected = true
+		mi.injected = true
 		where := "payload"
 		if idx < 48 {
 			where = "header"
 		}
-		mi.Desc = fmt.Sprintf("message byte %d (%s) bit %d", idx, where, mi.Bit)
+		mi.desc = fmt.Sprintf("message byte %d (%s) bit %d", idx, where, mi.Bit)
 	}
 	mi.seen += uint64(len(pkt))
+}
+
+// Report returns whether the bit flip has been applied yet and its
+// description.
+func (mi *MessageInjector) Report() (injected bool, desc string) {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	return mi.injected, mi.desc
 }

@@ -268,7 +268,8 @@ func TestMessageInjectorTriggersOnce(t *testing.T) {
 	mi.Hook(a) // bytes 0-59
 	mi.Hook(b) // bytes 60-119: trigger at 110 -> b[50]
 	mi.Hook(c) // bytes 120-179
-	if !mi.Injected {
+	injected, desc := mi.Report()
+	if !injected {
 		t.Fatal("never injected")
 	}
 	for i, v := range a {
@@ -290,16 +291,16 @@ func TestMessageInjectorTriggersOnce(t *testing.T) {
 			t.Fatalf("b[%d] = %#x", i, v)
 		}
 	}
-	if !strings.Contains(mi.Desc, "payload") {
-		t.Fatalf("offset 50 is past the 48-byte header: desc %q", mi.Desc)
+	if !strings.Contains(desc, "payload") {
+		t.Fatalf("offset 50 is past the 48-byte header: desc %q", desc)
 	}
 }
 
 func TestMessageInjectorHeaderClassification(t *testing.T) {
 	mi := &MessageInjector{TriggerByte: 10, Bit: 0}
 	mi.Hook(make([]byte, 60))
-	if !strings.Contains(mi.Desc, "header") {
-		t.Fatalf("byte 10 is in the header: desc %q", mi.Desc)
+	if _, desc := mi.Report(); !strings.Contains(desc, "header") {
+		t.Fatalf("byte 10 is in the header: desc %q", desc)
 	}
 }
 

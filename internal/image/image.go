@@ -12,6 +12,7 @@ package image
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Address-space layout constants (see Figure 1 of the paper).
@@ -69,6 +70,13 @@ type Symbol struct {
 }
 
 // Image is a fully linked guest program.
+//
+// Text and Data are immutable once the first machine has been loaded from
+// the image: the VM maps them copy-on-write into every rank of every
+// experiment, so an in-place mutation would leak into concurrently running
+// machines.  Producers (the assembler's Link) hand over fresh slices;
+// consumers that need to corrupt bytes do so through vm.Machine.RawWrite,
+// which unshares the affected segment first.
 type Image struct {
 	// Text is the executable segment, loaded at TextBase.
 	Text []byte
@@ -90,6 +98,25 @@ type Image struct {
 
 	// Symbols is sorted by address.
 	Symbols []Symbol
+
+	// predecoded caches the VM's decoded-text table (see Predecoded).
+	predecoded atomic.Value
+}
+
+// Predecoded returns the image-wide cache slot for a derived, immutable
+// view of the text segment, building it on first use.  The VM stores its
+// predecoded instruction table here so that one decode pass is shared by
+// all machines, ranks and experiments of a campaign.  Concurrent first
+// uses may invoke build more than once; every returned value must
+// therefore be equivalent (and of the same concrete type).  build must
+// not return nil.
+func (im *Image) Predecoded(build func() any) any {
+	if v := im.predecoded.Load(); v != nil {
+		return v
+	}
+	v := build()
+	im.predecoded.Store(v)
+	return v
 }
 
 // TextEnd returns the first address past the text segment.

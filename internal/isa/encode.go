@@ -60,6 +60,20 @@ func Decode(b []byte) Instr {
 	}
 }
 
+// DecodeAll decodes every complete InstrBytes-sized slot of b into an
+// instruction table: entry i covers bytes [i*InstrBytes, (i+1)*InstrBytes).
+// It is the batch form of Decode used to predecode a text segment once so
+// that interpreters can fetch by slot index instead of re-decoding bytes
+// on every retired instruction.  Like Decode it never fails; trailing
+// bytes that do not fill a slot are ignored.
+func DecodeAll(b []byte) []Instr {
+	out := make([]Instr, len(b)/InstrBytes)
+	for i := range out {
+		out[i] = Decode(b[i*InstrBytes:])
+	}
+	return out
+}
+
 // String renders the instruction in assembler syntax.
 func (i Instr) String() string {
 	if !i.Op.Valid() {

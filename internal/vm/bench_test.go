@@ -1,0 +1,69 @@
+package vm
+
+import (
+	"testing"
+
+	"mpifault/internal/abi"
+	"mpifault/internal/asm"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// benchImage links the mixed integer/FP loop used by the interpreter
+// micro-benchmarks: eight instructions per iteration touching the ALU,
+// the FP stack and BSS memory, with an effectively endless trip count so
+// the instruction budget decides when to stop.
+func benchImage(b *testing.B) *image.Image {
+	b.Helper()
+	ab := asm.NewBuilder()
+	m := ab.Module("bench", image.OwnerUser)
+	m.BSS("scratch", 16)
+	f := m.Func("main")
+	f.Movi(isa.R1, 0)
+	f.Movi(isa.R2, 1<<30)
+	loop := f.NewLabel()
+	f.Label(loop)
+	f.Addi(isa.R1, isa.R1, 1)
+	f.Xori(isa.R3, isa.R1, 0x55)
+	f.FldConst(1.5)
+	f.FldConst(2.5)
+	f.Fmulp()
+	f.FstpSym("scratch", 0)
+	f.Cmp(isa.R1, isa.R2)
+	f.Blt(loop)
+	f.Movi(isa.R0, 0)
+	f.Sys(abi.SysExit)
+	im, err := ab.Link(asm.LinkConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return im
+}
+
+// BenchmarkStep measures per-retired-instruction interpreter cost: one
+// benchmark op is one instruction.  A campaign's wall-clock is almost
+// entirely N_experiments x golden_instrs x this number.
+func BenchmarkStep(b *testing.B) {
+	im := benchImage(b)
+	m := New(im)
+	m.Handler = &testHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	out := m.Run(uint64(b.N))
+	if out.Reason != StopBudget {
+		b.Fatalf("unexpected stop: %+v", out)
+	}
+}
+
+// BenchmarkMachineNew measures per-experiment setup cost: every rank of
+// every injection run starts with a vm.New of the same image.
+func BenchmarkMachineNew(b *testing.B) {
+	im := benchImage(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink *Machine
+	for i := 0; i < b.N; i++ {
+		sink = New(im)
+	}
+	_ = sink
+}

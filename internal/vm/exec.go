@@ -9,51 +9,39 @@ import (
 // Step fetches, decodes and executes one instruction.  It returns nil to
 // continue or a Trap describing why execution stopped.
 func (m *Machine) Step() *Trap {
-	// Fetch.  There is no execute permission, as on classic x86: a wild PC
-	// landing in data decodes whatever bytes are there and almost always
-	// raises SIGILL on the spot.
-	s := m.segFor(m.PC)
-	if s == nil || m.PC-s.base+isa.InstrBytes > uint32(len(s.bytes)) {
-		return &Trap{Kind: TrapSegv, PC: m.PC, Addr: m.PC, Msg: "instruction fetch"}
+	// Fetch.  The hot path is a slot-aligned PC inside text whose
+	// predecode slot is clean: the instruction comes straight out of the
+	// image's shared predecoded table.  Everything else — text overwritten
+	// by the injector, a bit-flipped PC that lost its alignment, or a wild
+	// PC outside text — re-decodes the actual bytes, so corrupted
+	// encodings fault exactly as they would without the cache.  There is
+	// no execute permission, as on classic x86: a wild PC landing in data
+	// decodes whatever bytes are there and almost always raises SIGILL on
+	// the spot.
+	var in isa.Instr
+	if off := m.PC - m.text.base; off < m.text.length {
+		slot := off / isa.InstrBytes
+		if m.pre != nil && off%isa.InstrBytes == 0 &&
+			slot < uint32(len(m.pre)) && !m.textSlotDirty(slot) {
+			in = m.pre[slot]
+		} else {
+			if off+isa.InstrBytes > m.text.length {
+				return &Trap{Kind: TrapSegv, PC: m.PC, Addr: m.PC, Msg: "instruction fetch"}
+			}
+			in = isa.Decode(m.text.bytes[off:])
+		}
+	} else {
+		s := m.segFor(m.PC)
+		if s == nil || m.PC-s.base+isa.InstrBytes > s.length {
+			return &Trap{Kind: TrapSegv, PC: m.PC, Addr: m.PC, Msg: "instruction fetch"}
+		}
+		in = isa.Decode(s.view(m.PC-s.base, isa.InstrBytes))
 	}
-	in := isa.Decode(s.bytes[m.PC-s.base:])
 	if m.Tracer != nil {
 		m.Tracer.Exec(m.PC)
 	}
 	m.Instrs++
 	next := m.PC + isa.InstrBytes
-
-	ill := func(msg string) *Trap { return &Trap{Kind: TrapIll, PC: m.PC, Msg: msg} }
-
-	// Validate register operand bytes.  A bit flip in an operand byte can
-	// produce a register index >= 8, which faults like a bad encoding.
-	gpr := func(r uint8) (int, bool) {
-		if int(r) < isa.NumGPR {
-			return int(r), true
-		}
-		return 0, false
-	}
-
-	// Effective address for the ra + index(rb) + imm memory form.
-	// RegNone contributes zero, which also provides absolute addressing.
-	ea := func() (uint32, bool) {
-		var a uint32
-		if in.Ra != isa.RegNone {
-			r, ok := gpr(in.Ra)
-			if !ok {
-				return 0, false
-			}
-			a += m.Regs[r]
-		}
-		if in.Rb != isa.RegNone {
-			r, ok := gpr(in.Rb)
-			if !ok {
-				return 0, false
-			}
-			a += m.Regs[r]
-		}
-		return a + uint32(in.Imm), true
-	}
 
 	switch in.Op {
 	case isa.OpNop:
@@ -61,7 +49,7 @@ func (m *Machine) Step() *Trap {
 	case isa.OpMovi:
 		rd, ok := gpr(in.Rd)
 		if !ok {
-			return ill("movi rd")
+			return m.ill("movi rd")
 		}
 		m.Regs[rd] = uint32(in.Imm)
 
@@ -69,7 +57,7 @@ func (m *Machine) Step() *Trap {
 		rd, ok1 := gpr(in.Rd)
 		ra, ok2 := gpr(in.Ra)
 		if !ok1 || !ok2 {
-			return ill("movr regs")
+			return m.ill("movr regs")
 		}
 		m.Regs[rd] = m.Regs[ra]
 
@@ -79,7 +67,7 @@ func (m *Machine) Step() *Trap {
 		ra, ok2 := gpr(in.Ra)
 		rb, ok3 := gpr(in.Rb)
 		if !ok1 || !ok2 || !ok3 {
-			return ill("alu regs")
+			return m.ill("alu regs")
 		}
 		v, t := m.alu(in.Op, m.Regs[ra], m.Regs[rb])
 		if t != nil {
@@ -91,7 +79,7 @@ func (m *Machine) Step() *Trap {
 		rd, ok1 := gpr(in.Rd)
 		ra, ok2 := gpr(in.Ra)
 		if !ok1 || !ok2 {
-			return ill("neg regs")
+			return m.ill("neg regs")
 		}
 		m.Regs[rd] = uint32(-int32(m.Regs[ra]))
 
@@ -100,7 +88,7 @@ func (m *Machine) Step() *Trap {
 		rd, ok1 := gpr(in.Rd)
 		ra, ok2 := gpr(in.Ra)
 		if !ok1 || !ok2 {
-			return ill("alui regs")
+			return m.ill("alui regs")
 		}
 		var op isa.Op
 		switch in.Op {
@@ -131,14 +119,14 @@ func (m *Machine) Step() *Trap {
 		ra, ok1 := gpr(in.Ra)
 		rb, ok2 := gpr(in.Rb)
 		if !ok1 || !ok2 {
-			return ill("cmp regs")
+			return m.ill("cmp regs")
 		}
 		m.setIntFlags(m.Regs[ra], m.Regs[rb])
 
 	case isa.OpCmpi:
 		ra, ok := gpr(in.Ra)
 		if !ok {
-			return ill("cmpi reg")
+			return m.ill("cmpi reg")
 		}
 		m.setIntFlags(m.Regs[ra], uint32(in.Imm))
 
@@ -160,7 +148,7 @@ func (m *Machine) Step() *Trap {
 	case isa.OpCallr:
 		ra, ok := gpr(in.Ra)
 		if !ok {
-			return ill("callr reg")
+			return m.ill("callr reg")
 		}
 		if t := m.push(next); t != nil {
 			return t
@@ -177,7 +165,7 @@ func (m *Machine) Step() *Trap {
 	case isa.OpPush:
 		ra, ok := gpr(in.Ra)
 		if !ok {
-			return ill("push reg")
+			return m.ill("push reg")
 		}
 		if t := m.push(m.Regs[ra]); t != nil {
 			return t
@@ -186,7 +174,7 @@ func (m *Machine) Step() *Trap {
 	case isa.OpPop:
 		rd, ok := gpr(in.Rd)
 		if !ok {
-			return ill("pop reg")
+			return m.ill("pop reg")
 		}
 		v, t := m.pop()
 		if t != nil {
@@ -196,9 +184,9 @@ func (m *Machine) Step() *Trap {
 
 	case isa.OpLd:
 		rd, ok := gpr(in.Rd)
-		addr, ok2 := ea()
+		addr, ok2 := m.ea(in.Ra, in.Rb, in.Imm)
 		if !ok || !ok2 {
-			return ill("ld regs")
+			return m.ill("ld regs")
 		}
 		v, t := m.Load32(addr)
 		if t != nil {
@@ -208,9 +196,9 @@ func (m *Machine) Step() *Trap {
 
 	case isa.OpSt:
 		rc, ok := gpr(in.Rc())
-		addr, ok2 := ea()
+		addr, ok2 := m.ea(in.Ra, in.Rb, in.Imm)
 		if !ok || !ok2 {
-			return ill("st regs")
+			return m.ill("st regs")
 		}
 		if t := m.Store32(addr, m.Regs[rc]); t != nil {
 			return t
@@ -218,9 +206,9 @@ func (m *Machine) Step() *Trap {
 
 	case isa.OpLdb:
 		rd, ok := gpr(in.Rd)
-		addr, ok2 := ea()
+		addr, ok2 := m.ea(in.Ra, in.Rb, in.Imm)
 		if !ok || !ok2 {
-			return ill("ldb regs")
+			return m.ill("ldb regs")
 		}
 		v, t := m.Load8(addr)
 		if t != nil {
@@ -230,18 +218,18 @@ func (m *Machine) Step() *Trap {
 
 	case isa.OpStb:
 		rc, ok := gpr(in.Rc())
-		addr, ok2 := ea()
+		addr, ok2 := m.ea(in.Ra, in.Rb, in.Imm)
 		if !ok || !ok2 {
-			return ill("stb regs")
+			return m.ill("stb regs")
 		}
 		if t := m.Store8(addr, byte(m.Regs[rc])); t != nil {
 			return t
 		}
 
 	case isa.OpFld:
-		addr, ok := ea()
+		addr, ok := m.ea(in.Ra, in.Rb, in.Imm)
 		if !ok {
-			return ill("fld regs")
+			return m.ill("fld regs")
 		}
 		v, t := m.LoadF64(addr)
 		if t != nil {
@@ -260,9 +248,9 @@ func (m *Machine) Step() *Trap {
 		m.fpush(m.fget(int(in.Imm)))
 
 	case isa.OpFst, isa.OpFstp:
-		addr, ok := ea()
+		addr, ok := m.ea(in.Ra, in.Rb, in.Imm)
 		if !ok {
-			return ill("fst regs")
+			return m.ill("fst regs")
 		}
 		if t := m.StoreF64(addr, m.fget(0)); t != nil {
 			return t
@@ -330,14 +318,14 @@ func (m *Machine) Step() *Trap {
 	case isa.OpFild:
 		ra, ok := gpr(in.Ra)
 		if !ok {
-			return ill("fild reg")
+			return m.ill("fild reg")
 		}
 		m.fpush(float64(int32(m.Regs[ra])))
 
 	case isa.OpFist:
 		rd, ok := gpr(in.Rd)
 		if !ok {
-			return ill("fist reg")
+			return m.ill("fist reg")
 		}
 		v := m.fget(0)
 		m.fpop()
@@ -350,7 +338,7 @@ func (m *Machine) Step() *Trap {
 
 	case isa.OpSys:
 		if m.Handler == nil {
-			return ill("no syscall handler")
+			return m.ill("no syscall handler")
 		}
 		m.PC = next // the handler observes the resumption PC
 		if t := m.Handler.Syscall(m, in.Imm); t != nil {
@@ -360,12 +348,48 @@ func (m *Machine) Step() *Trap {
 		return nil
 
 	default:
-		return ill("invalid opcode")
+		return m.ill("invalid opcode")
 	}
 
 	m.PC = next
 	m.updateMinSP()
 	return nil
+}
+
+// ill builds the SIGILL trap for a bad encoding at the current PC.  It is
+// a method rather than a per-Step closure so the interpreter's hot path
+// allocates nothing and builds no closure contexts.
+func (m *Machine) ill(msg string) *Trap {
+	return &Trap{Kind: TrapIll, PC: m.PC, Msg: msg}
+}
+
+// gpr validates a register operand byte.  A bit flip in an operand byte
+// can produce a register index >= 8, which faults like a bad encoding.
+func gpr(r uint8) (int, bool) {
+	if int(r) < isa.NumGPR {
+		return int(r), true
+	}
+	return 0, false
+}
+
+// ea computes the effective address of the ra + index(rb) + imm memory
+// form.  RegNone contributes zero, which also provides absolute
+// addressing.
+func (m *Machine) ea(ra, rb uint8, imm int32) (uint32, bool) {
+	var a uint32
+	if ra != isa.RegNone {
+		if int(ra) >= isa.NumGPR {
+			return 0, false
+		}
+		a += m.Regs[ra]
+	}
+	if rb != isa.RegNone {
+		if int(rb) >= isa.NumGPR {
+			return 0, false
+		}
+		a += m.Regs[rb]
+	}
+	return a + uint32(imm), true
 }
 
 func (m *Machine) updateMinSP() {

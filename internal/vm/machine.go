@@ -169,26 +169,108 @@ type Machine struct {
 	bss   segment
 	heap  segment
 	stack segment
+
+	// pre is the image's shared predecoded text table (see predecode.go);
+	// nil forces the byte-decode fetch path.
+	pre []isa.Instr
+	// textDirty marks predecode slots overwritten on this machine.
+	textDirty []uint64
 }
 
+// segment is one region of the guest address space.  The backing store is
+// lazy and copy-on-write: text and data alias the image's bytes until the
+// first write (shared), while BSS, heap and stack start with no backing
+// at all and grow it on demand — unbacked bytes read as zeros.  This
+// makes loading a machine O(1) in the address-space size and keeps its
+// footprint proportional to the memory it actually touches: a fault
+// campaign creates one machine per rank per experiment, and used to spend
+// most of its allocation volume zero-filling 8 MiB heaps of which a run
+// touched a few tens of kilobytes.
 type segment struct {
 	base     uint32
-	bytes    []byte
+	length   uint32 // logical size; len(bytes) <= length
+	bytes    []byte // backing for [base, base+len(bytes)); grows on demand
 	writable bool
+	shared   bool // bytes alias the immutable image; copy before writing
 }
 
 func (s *segment) contains(addr uint32) bool {
-	return addr >= s.base && addr-s.base < uint32(len(s.bytes))
+	return addr-s.base < s.length // unsigned wrap makes addr < base fail too
 }
 
-// New loads the image into a fresh machine.
+// zeroPage backs reads of never-written lazy segment memory.  It is
+// immutable: view hands out sub-slices, and every caller treats read spans
+// as read-only.
+var zeroPage [65536]byte
+
+// view returns [off, off+n) for reading; the caller must have
+// bounds-checked the range against length.  Reads entirely beyond the
+// backing return zeros without growing it; reads that straddle the
+// backing boundary (or exceed zeroPage) grow it instead, which keeps the
+// common cases allocation-free.
+func (s *segment) view(off uint32, n int) []byte {
+	end := int(off) + n
+	if end <= len(s.bytes) {
+		return s.bytes[off:end]
+	}
+	if int(off) >= len(s.bytes) && n <= len(zeroPage) {
+		return zeroPage[:n]
+	}
+	s.ensure(end)
+	return s.bytes[off:end]
+}
+
+// mutable returns [off, off+n) for writing, growing or unsharing the
+// backing store first; the caller must have bounds-checked the range.
+func (s *segment) mutable(off uint32, n int) []byte {
+	end := int(off) + n
+	if s.shared || end > len(s.bytes) {
+		s.ensure(end)
+	}
+	return s.bytes[off:end]
+}
+
+// ensure gives the segment private backing covering at least [0, end).
+// Lazy segments grow by doubling in 16 KiB quanta, capped at the logical
+// size, so repeated small writes — the heap break creeping upward — cost
+// amortized O(bytes touched), not O(segment size).
+func (s *segment) ensure(end int) {
+	if s.shared {
+		// Shared segments are always fully backed (end <= len(bytes)).
+		s.bytes = append([]byte(nil), s.bytes...)
+		s.shared = false
+		return
+	}
+	if end <= len(s.bytes) {
+		return
+	}
+	grown := 2 * len(s.bytes)
+	const quantum = 16 << 10
+	if grown < quantum {
+		grown = quantum
+	}
+	if grown < end {
+		grown = end
+	}
+	if grown > int(s.length) {
+		grown = int(s.length)
+	}
+	nb := make([]byte, grown)
+	copy(nb, s.bytes)
+	s.bytes = nb
+}
+
+// New loads the image into a fresh machine.  Text and data are shared
+// copy-on-write with the image and the zero segments are allocated
+// lazily, so this is cheap no matter how large the address space is.
 func New(im *image.Image) *Machine {
 	m := &Machine{Image: im}
-	m.text = segment{base: image.TextBase, bytes: append([]byte(nil), im.Text...)}
-	m.data = segment{base: im.DataBase, bytes: append([]byte(nil), im.Data...), writable: true}
-	m.bss = segment{base: im.BSSBase, bytes: make([]byte, im.BSSSize), writable: true}
-	m.heap = segment{base: im.HeapBase, bytes: make([]byte, im.HeapLimit-im.HeapBase), writable: true}
-	m.stack = segment{base: im.StackBase(), bytes: make([]byte, im.StackSize), writable: true}
+	m.text = segment{base: image.TextBase, length: uint32(len(im.Text)), bytes: im.Text, shared: true}
+	m.data = segment{base: im.DataBase, length: uint32(len(im.Data)), bytes: im.Data, writable: true, shared: true}
+	m.bss = segment{base: im.BSSBase, length: im.BSSSize, writable: true}
+	m.heap = segment{base: im.HeapBase, length: im.HeapLimit - im.HeapBase, writable: true}
+	m.stack = segment{base: im.StackBase(), length: im.StackSize, writable: true}
+	m.pre = predecodeFor(im)
 	m.PC = im.Entry
 	m.Regs[isa.SP] = image.StackTop
 	m.Regs[isa.FP] = image.StackTop
@@ -215,6 +297,15 @@ type RunResult struct {
 
 // Run executes until a trap (including normal exit) or until budget
 // instructions have retired.  budget == 0 means unlimited.
+//
+// The outer loop only handles events — budget exhaustion, stop polling,
+// trigger firing — at precomputed instruction-count boundaries; between
+// boundaries the inner loop retires instructions with a single compare of
+// overhead.  The event checks run at exactly the same instruction counts
+// as a per-instruction check would (stop is polled whenever Instrs is a
+// multiple of 4096, the trigger fires just before the instruction at
+// which Instrs == TriggerAt executes), so campaign outcomes are
+// bit-identical to the straightforward loop.
 func (m *Machine) Run(budget uint64) RunResult {
 	for {
 		if budget != 0 && m.Instrs >= budget {
@@ -231,9 +322,26 @@ func (m *Machine) Run(budget uint64) RunResult {
 			if fn != nil {
 				fn(m)
 			}
+			continue // fn may re-arm the trigger or alter state; recompute
 		}
-		if t := m.Step(); t != nil {
-			return RunResult{Reason: StopTrap, Trap: t}
+
+		// Next event boundary: run branch-light until Instrs reaches it.
+		limit := uint64(math.MaxUint64)
+		if budget != 0 {
+			limit = budget
+		}
+		if m.TriggerAt != 0 && m.TriggerAt < limit {
+			limit = m.TriggerAt
+		}
+		if m.Stop != nil {
+			if poll := (m.Instrs | 4095) + 1; poll < limit {
+				limit = poll
+			}
+		}
+		for m.Instrs < limit {
+			if t := m.Step(); t != nil {
+				return RunResult{Reason: StopTrap, Trap: t}
+			}
 		}
 	}
 }
@@ -261,6 +369,8 @@ func (m *Machine) segv(addr uint32) *Trap {
 }
 
 // span returns a slice covering [addr, addr+n) if it lies in one segment.
+// Read spans are read-only views (possibly of shared image or zero
+// storage); write spans always refer to the machine's private storage.
 func (m *Machine) span(addr uint32, n int, write bool) ([]byte, *Trap) {
 	s := m.segFor(addr)
 	if s == nil {
@@ -270,10 +380,13 @@ func (m *Machine) span(addr uint32, n int, write bool) ([]byte, *Trap) {
 		return nil, m.segv(addr)
 	}
 	off := addr - s.base
-	if int(off)+n > len(s.bytes) {
+	if int(off)+n > int(s.length) {
 		return nil, m.segv(addr)
 	}
-	return s.bytes[off : int(off)+n], nil
+	if write {
+		return s.mutable(off, n), nil
+	}
+	return s.view(off, n), nil
 }
 
 // Load32 reads a 32-bit little-endian word.
@@ -394,26 +507,33 @@ func (m *Machine) RawRead(addr uint32, n int) ([]byte, bool) {
 		return nil, false
 	}
 	off := addr - s.base
-	if int(off)+n > len(s.bytes) {
+	if int(off)+n > int(s.length) {
 		return nil, false
 	}
 	out := make([]byte, n)
-	copy(out, s.bytes[off:])
+	if int(off) < len(s.bytes) {
+		copy(out, s.bytes[off:]) // any unbacked tail stays zero
+	}
 	return out, true
 }
 
 // RawWrite writes guest memory ignoring permissions (ptrace POKEDATA
 // analogue); the fault injector uses it to corrupt even read-only text.
+// A write into text additionally invalidates the predecode slots covering
+// it, so the corrupted bytes are decoded afresh at their next fetch.
 func (m *Machine) RawWrite(addr uint32, data []byte) bool {
 	s := m.segFor(addr)
 	if s == nil {
 		return false
 	}
 	off := addr - s.base
-	if int(off)+len(data) > len(s.bytes) {
+	if int(off)+len(data) > int(s.length) {
 		return false
 	}
-	copy(s.bytes[off:], data)
+	copy(s.mutable(off, len(data)), data)
+	if s == &m.text {
+		m.markTextDirty(off, len(data))
+	}
 	return true
 }
 
@@ -435,7 +555,7 @@ func (m *Machine) SegmentRange(name string) (uint32, uint32, bool) {
 	default:
 		return 0, 0, false
 	}
-	return s.base, s.base + uint32(len(s.bytes)), true
+	return s.base, s.base + s.length, true
 }
 
 // Arg returns syscall argument i under the ABI convention (r0-r3, then the

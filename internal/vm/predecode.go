@@ -1,0 +1,58 @@
+package vm
+
+import (
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// Predecode cache.
+//
+// A campaign executes the same image thousands of times (hundreds of
+// injections x several ranks x eight regions), and the interpreter used to
+// re-decode the instruction bytes on every retired instruction.  Instead,
+// the text segment is decoded exactly once per image into an immutable
+// []isa.Instr table shared by every machine, and Step fetches decoded
+// instructions by slot index.
+//
+// The table is only a cache of the text bytes, never the truth: a machine
+// whose text has been written (the injector's RawWrite — there is no other
+// way to write text) records the affected slots in a per-machine dirty
+// bitmap, and dirty slots take the byte-decode path again so that corrupted
+// encodings keep raising SIGILL exactly as they did before predecoding.
+// Likewise a PC that is not slot-aligned (possible after a PC bit flip)
+// falls back to byte decoding.
+
+// predecodeFor returns the image's shared predecoded text table.
+func predecodeFor(im *image.Image) []isa.Instr {
+	return im.Predecoded(func() any {
+		return isa.DecodeAll(im.Text)
+	}).([]isa.Instr)
+}
+
+// DisablePredecode forces the machine back onto the per-instruction
+// byte-decode fetch path.  The differential tests use it to check that
+// predecoded execution is semantically invisible.
+func (m *Machine) DisablePredecode() { m.pre = nil }
+
+// markTextDirty records that text bytes [off, off+n) were overwritten, so
+// the predecode slots covering them must be byte-decoded from now on.
+func (m *Machine) markTextDirty(off uint32, n int) {
+	if n <= 0 {
+		return
+	}
+	if m.textDirty == nil {
+		slots := (m.text.length + isa.InstrBytes - 1) / isa.InstrBytes
+		m.textDirty = make([]uint64, (slots+63)/64)
+	}
+	last := (off + uint32(n) - 1) / isa.InstrBytes
+	for s := off / isa.InstrBytes; s <= last; s++ {
+		m.textDirty[s/64] |= 1 << (s % 64)
+	}
+}
+
+// textSlotDirty reports whether predecode slot s has been overwritten on
+// this machine.
+func (m *Machine) textSlotDirty(s uint32) bool {
+	d := m.textDirty
+	return d != nil && d[s/64]&(1<<(s%64)) != 0
+}

@@ -1,0 +1,152 @@
+package vm
+
+import (
+	"testing"
+
+	"mpifault/internal/abi"
+	"mpifault/internal/asm"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// predecodeImage links a tiny program with a data word: it bumps the
+// word once and exits.
+func predecodeImage(t *testing.T) *image.Image {
+	t.Helper()
+	ab := asm.NewBuilder()
+	m := ab.Module("pdt", image.OwnerUser)
+	m.DataI32("counter", 41)
+	f := m.Func("main")
+	f.LdSym(isa.R1, "counter", 0)
+	f.Addi(isa.R1, isa.R1, 1)
+	f.StSym("counter", 0, isa.R1)
+	f.Movi(isa.R0, 0)
+	f.Sys(abi.SysExit)
+	im, err := ab.Link(asm.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func runToStop(t *testing.T, m *Machine) RunResult {
+	t.Helper()
+	m.Handler = &testHandler{}
+	return m.Run(10_000)
+}
+
+// TestPredecodeDirtySlotInvalidation: overwriting a text slot with an
+// invalid opcode must take effect on the writing machine — the shared
+// predecoded table may not mask the corruption — and must stay invisible
+// to a sibling machine on the same image.
+func TestPredecodeDirtySlotInvalidation(t *testing.T) {
+	im := predecodeImage(t)
+	a := New(im)
+	b := New(im)
+	if a.pre == nil {
+		t.Fatal("predecode table not installed")
+	}
+
+	// Corrupt the second instruction's opcode byte on machine a only.
+	addr := image.TextBase + 1*isa.InstrBytes
+	if !a.RawWrite(addr, []byte{0xff}) {
+		t.Fatal("text write failed")
+	}
+	out := runToStop(t, a)
+	if out.Trap == nil || out.Trap.Kind != TrapIll {
+		t.Fatalf("corrupted machine: got %+v, want SIGILL", out.Trap)
+	}
+	if out.Trap.PC != addr {
+		t.Fatalf("SIGILL at %08x, want %08x", out.Trap.PC, addr)
+	}
+
+	out = runToStop(t, b)
+	if out.Trap == nil || out.Trap.Kind != TrapExit {
+		t.Fatalf("sibling machine: got %+v, want clean exit", out.Trap)
+	}
+}
+
+// TestCOWSegmentIsolation: a data store on one machine must not leak into
+// a sibling machine or back into the image bytes both were loaded from.
+func TestCOWSegmentIsolation(t *testing.T) {
+	im := predecodeImage(t)
+	sym, ok := im.Lookup("counter")
+	if !ok {
+		t.Fatal("no counter symbol")
+	}
+	imgByte := im.Data[sym.Addr-im.DataBase]
+
+	a := New(im)
+	if out := runToStop(t, a); out.Trap == nil || out.Trap.Kind != TrapExit {
+		t.Fatalf("run: %+v", out.Trap)
+	}
+	got, trap := a.Load32(sym.Addr)
+	if trap != nil || got != 42 {
+		t.Fatalf("machine a counter = %d (%v), want 42", got, trap)
+	}
+
+	// The write must have gone to a private copy.
+	if im.Data[sym.Addr-im.DataBase] != imgByte {
+		t.Fatal("store leaked into the shared image data")
+	}
+	b := New(im)
+	if got, trap := b.Load32(sym.Addr); trap != nil || got != 41 {
+		t.Fatalf("sibling machine counter = %d (%v), want untouched 41", got, trap)
+	}
+}
+
+// TestMisalignedPCFallback: a PC that is not a multiple of the slot size
+// (reachable after a PC bit flip) must behave identically with and
+// without the predecode table.
+func TestMisalignedPCFallback(t *testing.T) {
+	im := predecodeImage(t)
+	run := func(disable bool) RunResult {
+		m := New(im)
+		if disable {
+			m.pre = nil
+		}
+		m.PC = im.Entry + 3 // mid-slot: decodes a garbage byte window
+		return runToStop(t, m)
+	}
+	pre, raw := run(false), run(true)
+	if pre.Reason != raw.Reason {
+		t.Fatalf("stop reason %v predecoded vs %v byte-decoded", pre.Reason, raw.Reason)
+	}
+	pk, rk := "none", "none"
+	var pp, rp uint32
+	if pre.Trap != nil {
+		pk, pp = pre.Trap.Kind.String(), pre.Trap.PC
+	}
+	if raw.Trap != nil {
+		rk, rp = raw.Trap.Kind.String(), raw.Trap.PC
+	}
+	if pk != rk || pp != rp {
+		t.Fatalf("trap %s@%08x predecoded vs %s@%08x byte-decoded", pk, pp, rk, rp)
+	}
+}
+
+// TestLazySegmentReadsZero: unbacked heap and stack memory must read as
+// zeros, exactly like the eagerly zero-filled segments they replaced.
+func TestLazySegmentReadsZero(t *testing.T) {
+	im := predecodeImage(t)
+	m := New(im)
+	for _, addr := range []uint32{im.HeapBase, im.HeapBase + 12345, im.StackBase() + 64} {
+		v, trap := m.Load32(addr)
+		if trap != nil {
+			t.Fatalf("load %08x: %+v", addr, trap)
+		}
+		if v != 0 {
+			t.Fatalf("fresh memory at %08x reads %d, want 0", addr, v)
+		}
+	}
+	// A write materializes only its own segment and survives readback.
+	if trap := m.Store32(im.HeapBase+8, 0xdeadbeef); trap != nil {
+		t.Fatalf("store: %+v", trap)
+	}
+	if v, _ := m.Load32(im.HeapBase + 8); v != 0xdeadbeef {
+		t.Fatalf("heap readback = %#x", v)
+	}
+	if v, _ := m.Load32(im.HeapBase + 12345); v != 0 {
+		t.Fatalf("neighbouring heap word dirtied: %#x", v)
+	}
+}

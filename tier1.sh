@@ -25,4 +25,9 @@ go test -race ./...
 echo "== faultlint =="
 go run ./cmd/faultlint
 
+echo "== benchmark smoke =="
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or crash, without measuring anything.
+go test -run '^$' -bench . -benchtime 1x ./...
+
 echo "tier1: OK"
