@@ -6,8 +6,23 @@
 //
 //	faultcampaign [-app wavetoy|minimd|minicam|all] [-n 500] [-seed 1]
 //	              [-regions reg,fp,...] [-csv] [-quiet]
+//	              [-shard i/K] [-journal path] [-resume]
 //	              [-liveness live|dead] [-predict]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
+//
+// -shard i/K runs only shard i of the K-way partition of the campaign
+// plan.  Because every experiment's random stream is derived from
+// (seed, region, index) alone, K shard runs at the same seed together
+// perform exactly the experiments of the single-process campaign — run
+// them on K machines (or CI jobs) with no coordination and merge their
+// journals with faultmerge.
+//
+// -journal path appends every finished experiment to a JSONL checkpoint
+// journal (requires a single -app).  With -resume, experiments already
+// present in the journal are not re-run, so an interrupted or killed
+// campaign picks up where it left off; SIGINT/SIGTERM stop dispatching
+// and leave a clean journal.  Shard runs suppress the tables — the
+// merged journals are the result.
 //
 // -liveness directs register-region injections by the static analysis
 // in internal/analysis: "live" samples only statically-live bits (same
@@ -15,6 +30,10 @@
 // samples only provably-dead bits (a soundness audit: everything must
 // come back Correct).  -predict prints the static AVF forecast next to
 // the campaign's measured manifestation rates.
+//
+// Exit status: 0 on a clean campaign, 1 if any experiment failed to
+// classify (no fault was actually applied, so its row is meaningless —
+// CI gates on this), 130 when interrupted by a signal.
 package main
 
 import (
@@ -22,9 +41,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"mpifault/internal/analysis"
@@ -35,6 +56,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	app := flag.String("app", "all", "application to inject into (wavetoy, minimd, minicam, all)")
 	n := flag.Int("n", 500, "injections per region (paper: 400-1000, 2000 for some message rows)")
 	seed := flag.Uint64("seed", 1, "campaign seed (same seed => identical campaign)")
@@ -42,6 +67,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the table layout")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	par := flag.Int("parallel", 0, "concurrent experiment jobs (0 = auto)")
+	shardSpec := flag.String("shard", "", "run only shard i of K (format i/K, e.g. 0/3); merge journals with faultmerge")
+	journalPath := flag.String("journal", "", "append finished experiments to this JSONL checkpoint journal (single -app only)")
+	resume := flag.Bool("resume", false, "skip experiments already recorded in -journal instead of starting fresh")
 	liveness := flag.String("liveness", "", "direct register injections by static liveness (live or dead)")
 	predict := flag.Bool("predict", false, "print the static AVF prediction next to the measured rates")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -53,10 +81,12 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			log.Fatalf("cpuprofile: %v", err)
+			log.Printf("cpuprofile: %v", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatalf("cpuprofile: %v", err)
+			log.Printf("cpuprofile: %v", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -64,12 +94,13 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				log.Fatalf("memprofile: %v", err)
+				log.Printf("memprofile: %v", err)
+				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatalf("memprofile: %v", err)
+				log.Printf("memprofile: %v", err)
 			}
 		}()
 	}
@@ -79,10 +110,25 @@ func main() {
 		for _, s := range strings.Split(*regions, ",") {
 			r, err := core.ParseRegion(strings.TrimSpace(s))
 			if err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return 1
 			}
 			regionList = append(regionList, r)
 		}
+	}
+
+	shard, numShards := 0, 1
+	if *shardSpec != "" {
+		var err error
+		shard, numShards, err = core.ParseShard(*shardSpec)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if *resume && *journalPath == "" {
+		log.Print("-resume requires -journal")
+		return 1
 	}
 
 	var policy core.LivenessPolicy
@@ -93,29 +139,48 @@ func main() {
 	case "dead":
 		policy = core.LiveTargetDead
 	default:
-		log.Fatalf("unknown -liveness policy %q (want live or dead)", *liveness)
+		log.Printf("unknown -liveness policy %q (want live or dead)", *liveness)
+		return 1
 	}
 
 	names := []string{"wavetoy", "minimd", "minicam"}
 	if *app != "all" {
 		names = []string{*app}
 	}
+	if *journalPath != "" && len(names) != 1 {
+		log.Print("-journal records one campaign; pass a single -app")
+		return 1
+	}
+
+	// A signal stops dispatching new experiments; in-flight ones finish
+	// and reach the journal, so a resumed run loses nothing.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; ok {
+			close(stop)
+		}
+	}()
 
 	if !*quiet {
-		if d, err := sampling.EstimationError(0.95, *n); err == nil {
-			fmt.Printf("sampling: n=%d per region -> estimation error %.1f%% at 95%% confidence\n",
-				*n, 100*d)
+		if s, err := sampling.Describe(0.95, *n); err == nil {
+			fmt.Printf("sampling: %s\n", s)
 		}
 	}
 
+	unclassified, interrupted := 0, false
 	for _, name := range names {
 		a, err := apps.Get(name)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		im, err := a.Build(a.Default)
 		if err != nil {
-			log.Fatalf("build %s: %v", name, err)
+			log.Printf("build %s: %v", name, err)
+			return 1
 		}
 		start := time.Now()
 		cfg := core.Config{
@@ -125,19 +190,24 @@ func main() {
 			Regions:     regionList,
 			Seed:        *seed,
 			Parallelism: *par,
+			Shard:       shard,
+			NumShards:   numShards,
+			Stop:        stop,
 		}
 		var prog *analysis.Program
 		var live *analysis.Liveness
 		var abiStats map[string]analysis.ABIStats
 		if *liveness != "" || *predict {
 			if prog, err = analysis.Analyze(im); err != nil {
-				log.Fatalf("analyze %s: %v", name, err)
+				log.Printf("analyze %s: %v", name, err)
+				return 1
 			}
 			live = analysis.ComputeLiveness(prog)
 			var abiFindings []analysis.Finding
 			abiFindings, abiStats = analysis.ABICheck(prog)
 			if total := len(prog.Findings) + len(live.Findings) + len(abiFindings); total > 0 {
-				log.Fatalf("%s: static analysis reported %d findings; run faultlint", name, total)
+				log.Printf("%s: static analysis reported %d findings; run faultlint", name, total)
+				return 1
 			}
 		}
 		if *liveness != "" {
@@ -154,9 +224,62 @@ func main() {
 				}
 			}
 		}
+
+		var journal *report.Journal
+		resumed := 0
+		if *journalPath != "" {
+			hdr := report.CampaignHeader(name, cfg)
+			if *resume {
+				var completed map[string]core.Experiment
+				journal, completed, err = report.ResumeJournal(*journalPath, hdr)
+				cfg.Completed = completed
+				resumed = len(completed)
+			} else {
+				journal, err = report.CreateJournal(*journalPath, hdr)
+			}
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			cfg.OnExperiment = func(e core.Experiment) {
+				if err := journal.Append(e); err != nil {
+					log.Printf("journal: %v", err)
+				}
+			}
+		}
+
 		res, err := core.Run(cfg)
+		if journal != nil {
+			if cerr := journal.Close(); cerr != nil {
+				log.Printf("journal: %v", cerr)
+			}
+		}
 		if err != nil {
-			log.Fatalf("campaign %s: %v", name, err)
+			log.Printf("campaign %s: %v", name, err)
+			return 1
+		}
+		unclassified += res.Unclassified
+		if res.Interrupted {
+			done := 0
+			for _, t := range res.Tallies {
+				done += t.Executions
+			}
+			log.Printf("%s: interrupted after %d experiments; resume with -resume -journal %s",
+				name, done, *journalPath)
+			interrupted = true
+			break
+		}
+
+		if numShards > 1 {
+			// A shard's tables would be misleading fragments; the result
+			// is the journal, merged across shards by faultmerge.
+			done := 0
+			for _, t := range res.Tallies {
+				done += t.Executions
+			}
+			fmt.Printf("%s: shard %d/%d complete: %d experiments (%d resumed from journal)\n",
+				name, shard, numShards, done, resumed)
+			continue
 		}
 		if *csv {
 			report.WriteCampaignCSV(os.Stdout, name, res)
@@ -180,4 +303,13 @@ func main() {
 			fmt.Println()
 		}
 	}
+
+	if interrupted {
+		return 130
+	}
+	if unclassified > 0 {
+		log.Printf("%d experiments failed to classify (no fault was applied); results are incomplete", unclassified)
+		return 1
+	}
+	return 0
 }

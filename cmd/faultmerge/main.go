@@ -1,0 +1,72 @@
+// Command faultmerge merges the checkpoint journals of sharded
+// faultcampaign runs back into the campaign's tables.
+//
+// Usage:
+//
+//	faultmerge [-csv] shard0.jsonl shard1.jsonl shard2.jsonl ...
+//
+// The journals must come from `faultcampaign -shard i/K -journal ...`
+// runs of the same campaign (same app, seed, injections, regions).  The
+// merge validates that the shards are disjoint and together cover the
+// whole plan, then re-aggregates the per-experiment outcomes exactly as
+// a single-process campaign would: the merged CSV (and table) is byte
+// identical to `faultcampaign -csv` at the same seed — the determinism
+// gate CI enforces with a plain diff.
+//
+// Exit status: 0 on a clean merge, 1 when the journals are incomplete,
+// inconsistent, or contain experiments that failed to classify.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mpifault/internal/apps"
+	"mpifault/internal/report"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the table layout")
+	quiet := flag.Bool("quiet", false, "suppress the merge summary on stderr")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("faultmerge: ")
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		log.Print("usage: faultmerge [-csv] journal.jsonl ...")
+		return 1
+	}
+	m, err := report.MergeJournals(paths)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "faultmerge: %s seed %d: %d experiments from %d journals\n",
+			m.App, m.Seed, len(m.Result.Experiments), m.Journals)
+	}
+
+	if *csv {
+		report.WriteCampaignCSV(os.Stdout, m.App, m.Result)
+	} else {
+		label := m.App
+		if a, err := apps.Get(m.App); err == nil {
+			label = fmt.Sprintf("%s, stands in for %s", m.App, a.Paper)
+		}
+		report.WriteCampaign(os.Stdout, label, m.Result)
+	}
+
+	if m.Result.Unclassified > 0 {
+		log.Printf("%d experiments failed to classify (no fault was applied); results are incomplete",
+			m.Result.Unclassified)
+		return 1
+	}
+	return 0
+}

@@ -5,6 +5,7 @@ package classify
 
 import (
 	"bytes"
+	"fmt"
 
 	"mpifault/internal/cluster"
 	"mpifault/internal/vm"
@@ -53,6 +54,17 @@ func (o Outcome) String() string {
 	default:
 		return "Outcome?"
 	}
+}
+
+// ParseOutcome inverts String: it resolves the paper's name for a
+// manifestation class, as serialized in campaign journals.
+func ParseOutcome(s string) (Outcome, error) {
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("classify: unknown outcome %q", s)
 }
 
 // IsError reports whether the outcome counts as a manifested error (the

@@ -127,3 +127,20 @@ func TestFileOutputDifferenceDetected(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 }
+
+func TestParseOutcomeRoundTrip(t *testing.T) {
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		got, err := ParseOutcome(o.String())
+		if err != nil {
+			t.Fatalf("ParseOutcome(%q): %v", o.String(), err)
+		}
+		if got != o {
+			t.Errorf("ParseOutcome(%q) = %v, want %v", o.String(), got, o)
+		}
+	}
+	for _, bad := range []string{"", "crash", "Outcome?", "Segfault"} {
+		if _, err := ParseOutcome(bad); err == nil {
+			t.Errorf("ParseOutcome(%q) accepted", bad)
+		}
+	}
+}

@@ -105,6 +105,19 @@ func (r *Result) FirstFailure() *vm.Trap {
 	return sig
 }
 
+// FailureSummary renders the job's terminal condition as one short
+// line for logs and campaign journals: the most severe trap, the hang
+// verdict, or "" for a clean run.
+func (r *Result) FailureSummary() string {
+	if t := r.FirstFailure(); t != nil {
+		return t.Error()
+	}
+	if r.HangDetected {
+		return "hang: " + r.HangCause
+	}
+	return ""
+}
+
 // Run executes the job to completion and returns the collected outcome.
 func Run(job Job) *Result {
 	if job.WallLimit == 0 {

@@ -63,9 +63,27 @@ type Experiment struct {
 	Trigger uint64 // instruction count, or received-byte offset for messages
 	Desc    string // what was flipped (filled in during the run)
 	Outcome classify.Outcome
+	// Detail is a short description of the job's terminal condition
+	// (hang cause or failing trap), for logs and journals; empty for a
+	// clean run.
+	Detail string
 	// Candidates is the register-bit candidate-set size the injection
 	// sampled from: 320 undirected, fewer under a liveness policy.
 	Candidates int
+}
+
+// ID returns the experiment's stable plan identity (see PlanEntry.ID).
+func (e *Experiment) ID() string {
+	return PlanEntry{Region: e.Region, Index: e.Index}.ID()
+}
+
+// Unapplied reports whether the experiment finished without actually
+// injecting a fault: the region had no eligible target ("no target",
+// "no traffic") or the trigger never fired.  Such experiments carry no
+// classifiable manifestation, so campaigns surface their count and CI
+// gates on it.
+func (e *Experiment) Unapplied() bool {
+	return e.Desc == "" || e.Desc == "no target" || e.Desc == "no traffic"
 }
 
 // Config parameterizes an injection campaign for one application image.
@@ -97,6 +115,29 @@ type Config struct {
 	// LivenessPolicy selects live-only or dead-only register sampling;
 	// meaningful only with Liveness set.
 	LivenessPolicy LivenessPolicy
+	// Shard/NumShards restrict the run to shard Shard of the
+	// NumShards-way partition of the plan (see Plan.Shard).  The zero
+	// value (0, 0) runs the whole plan, as does 0/1.  Because every
+	// experiment's random stream is derived from (Seed, Region, Index)
+	// alone, the union of the K shard runs is exactly the single-process
+	// campaign at the same seed.
+	Shard     int
+	NumShards int
+	// Completed maps experiment IDs (Experiment.ID) to already-finished
+	// experiments, typically read back from a checkpoint journal.  Plan
+	// entries found here are counted without being re-run, which is how
+	// an interrupted campaign resumes.
+	Completed map[string]Experiment
+	// OnExperiment, when non-nil, is called once for each newly finished
+	// experiment (never for Completed ones).  Calls are serialized, so a
+	// journal append needs no extra locking; completion order across
+	// workers is nondeterministic.
+	OnExperiment func(Experiment)
+	// Stop, when non-nil and closed, stops dispatching new experiments;
+	// in-flight ones finish (and still reach OnExperiment).  The Result
+	// is then partial and marked Interrupted — pair with a journal and
+	// Completed to resume later.
+	Stop <-chan struct{}
 }
 
 // Tally aggregates outcomes for one region.
@@ -137,6 +178,13 @@ type Result struct {
 	// Directed summarizes the candidate-space pruning when the campaign
 	// ran with a liveness map; nil otherwise.
 	Directed *DirectedStats
+	// Unclassified counts experiments that finished without applying a
+	// fault (see Experiment.Unapplied) — they carry no manifestation, so
+	// callers should treat a nonzero count as a failed campaign.
+	Unclassified int
+	// Interrupted is set when Stop fired before the plan was exhausted;
+	// tallies then cover only the experiments that finished.
+	Interrupted bool
 }
 
 // Tally returns the tally for a region, if present.
@@ -149,8 +197,41 @@ func (r *Result) Tally(region Region) (Tally, bool) {
 	return Tally{}, false
 }
 
-// Run executes the full campaign: a golden run followed by
-// Injections × len(Regions) independent fault-injection runs.
+// TallyExperiments aggregates finished experiments into per-region
+// tallies in the given region order — the exact aggregation Run
+// performs, exported so that merging shard journals reproduces the
+// single-process tables byte for byte.
+func TallyExperiments(regions []Region, experiments []Experiment) []Tally {
+	tallies := make([]Tally, 0, len(regions))
+	for _, region := range regions {
+		t := Tally{Region: region}
+		for i := range experiments {
+			if experiments[i].Region != region {
+				continue
+			}
+			t.Executions++
+			t.Outcomes[experiments[i].Outcome]++
+		}
+		tallies = append(tallies, t)
+	}
+	return tallies
+}
+
+// CountUnapplied returns how many experiments finished without actually
+// injecting a fault (see Experiment.Unapplied).
+func CountUnapplied(experiments []Experiment) int {
+	n := 0
+	for i := range experiments {
+		if experiments[i].Unapplied() {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the campaign — or one shard of it — as a golden run
+// followed by independent fault-injection runs for every plan entry not
+// already present in cfg.Completed.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Injections <= 0 {
 		cfg.Injections = 100
@@ -167,6 +248,12 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = runtime.GOMAXPROCS(0)/2 + 1
 	}
+	if cfg.NumShards <= 0 {
+		cfg.NumShards = 1
+	}
+	if cfg.Shard < 0 || cfg.Shard >= cfg.NumShards {
+		return nil, fmt.Errorf("core: shard %d/%d out of range", cfg.Shard, cfg.NumShards)
+	}
 
 	golden, err := RunGolden(cfg.Image, cfg.Ranks, cfg.MPIConfig, cfg.WallLimit)
 	if err != nil {
@@ -175,19 +262,29 @@ func Run(cfg Config) (*Result, error) {
 	dict := NewDictionary(cfg.Image)
 	budget := golden.MaxInstrs() * uint64(cfg.BudgetMultiplier)
 
-	total := cfg.Injections * len(cfg.Regions)
-	experiments := make([]Experiment, total)
-	for ri, region := range cfg.Regions {
-		for i := 0; i < cfg.Injections; i++ {
-			experiments[ri*cfg.Injections+i] = Experiment{Region: region, Index: i}
+	plan := Plan{Regions: cfg.Regions, Injections: cfg.Injections}
+	entries := plan.Shard(cfg.Shard, cfg.NumShards)
+
+	experiments := make([]Experiment, len(entries))
+	finished := make([]bool, len(entries))
+	var todo []int
+	for i, pe := range entries {
+		if prev, ok := cfg.Completed[pe.ID()]; ok {
+			prev.Region, prev.Index = pe.Region, pe.Index
+			experiments[i] = prev
+			finished[i] = true
+			continue
 		}
+		experiments[i] = Experiment{Region: pe.Region, Index: pe.Index}
+		todo = append(todo, i)
 	}
 
 	var (
-		wg   sync.WaitGroup
-		next = make(chan int)
-		done int
-		mu   sync.Mutex
+		wg    sync.WaitGroup
+		next  = make(chan int)
+		done  int
+		mu    sync.Mutex
+		total = len(todo)
 	)
 	base := rng.New(cfg.Seed)
 	for w := 0; w < cfg.Parallelism; w++ {
@@ -198,48 +295,66 @@ func Run(cfg Config) (*Result, error) {
 				e := &experiments[idx]
 				runOne(cfg, golden, dict, budget, e,
 					base.Derive(uint64(e.Region), uint64(e.Index)))
+				mu.Lock()
+				finished[idx] = true
+				done++
+				d := done
+				if cfg.OnExperiment != nil {
+					cfg.OnExperiment(*e)
+				}
+				mu.Unlock()
 				if cfg.Progress != nil {
-					mu.Lock()
-					done++
-					d := done
-					mu.Unlock()
 					cfg.Progress(d, total)
 				}
 			}
 		}()
 	}
-	for idx := range experiments {
-		next <- idx
+	res := &Result{Golden: golden}
+dispatch:
+	for _, idx := range todo {
+		// Poll Stop first so a fired stop wins over a ready worker; the
+		// nil channel of an unset Stop never fires in either select.
+		select {
+		case <-cfg.Stop:
+			res.Interrupted = true
+			break dispatch
+		default:
+		}
+		select {
+		case <-cfg.Stop:
+			res.Interrupted = true
+			break dispatch
+		case next <- idx:
+		}
 	}
 	close(next)
 	wg.Wait()
 
-	res := &Result{Golden: golden}
+	ran := experiments
+	if res.Interrupted {
+		ran = ran[:0]
+		for i := range experiments {
+			if finished[i] {
+				ran = append(ran, experiments[i])
+			}
+		}
+	}
 	if cfg.Liveness != nil {
 		d := &DirectedStats{Policy: cfg.LivenessPolicy}
-		for _, e := range experiments {
-			if e.Region != RegionRegularReg {
+		for i := range ran {
+			if ran[i].Region != RegionRegularReg {
 				continue
 			}
 			d.Experiments++
-			d.Candidates += uint64(e.Candidates)
+			d.Candidates += uint64(ran[i].Candidates)
 			d.Total += RegisterSpaceBits
 		}
 		res.Directed = d
 	}
-	for _, region := range cfg.Regions {
-		t := Tally{Region: region}
-		for _, e := range experiments {
-			if e.Region != region {
-				continue
-			}
-			t.Executions++
-			t.Outcomes[e.Outcome]++
-		}
-		res.Tallies = append(res.Tallies, t)
-	}
+	res.Tallies = TallyExperiments(cfg.Regions, ran)
+	res.Unclassified = CountUnapplied(ran)
 	if cfg.KeepExperiments {
-		res.Experiments = experiments
+		res.Experiments = ran
 	}
 	return res, nil
 }
@@ -315,6 +430,7 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 
 	res := cluster.Run(job)
 	e.Outcome = classify.Classify(res, golden.Output)
+	e.Detail = res.FailureSummary()
 	if mi != nil {
 		_, e.Desc = mi.Report()
 	} else {

@@ -97,6 +97,61 @@ func TestMiniCampaignWavetoy(t *testing.T) {
 	}
 }
 
+func TestShardedCampaignEqualsFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test is slow")
+	}
+	im, ranks := buildApp(t, "wavetoy")
+	for _, tc := range []struct {
+		seed uint64
+		k    int
+	}{{7, 2}, {42, 3}} {
+		base := Config{
+			Image: im, Ranks: ranks, Injections: 6, Seed: tc.seed,
+			Regions:         []Region{RegionRegularReg, RegionText},
+			KeepExperiments: true,
+		}
+		full, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := make(map[string]Experiment)
+		for shard := 0; shard < tc.k; shard++ {
+			cfg := base
+			cfg.Shard, cfg.NumShards = shard, tc.k
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range res.Experiments {
+				if _, dup := merged[e.ID()]; dup {
+					t.Fatalf("seed %d K=%d: experiment %s ran in two shards", tc.seed, tc.k, e.ID())
+				}
+				merged[e.ID()] = e
+			}
+		}
+		if len(merged) != len(full.Experiments) {
+			t.Fatalf("seed %d K=%d: shards ran %d experiments, full run %d",
+				tc.seed, tc.k, len(merged), len(full.Experiments))
+		}
+		for _, want := range full.Experiments {
+			got, ok := merged[want.ID()]
+			if !ok {
+				t.Errorf("seed %d K=%d: experiment %s missing from shards", tc.seed, tc.k, want.ID())
+				continue
+			}
+			// Detail describes kill/exit races among non-faulted ranks and
+			// is informational only; everything that feeds the tables must
+			// be identical regardless of which shard ran the experiment.
+			got.Detail, want.Detail = "", ""
+			if got != want {
+				t.Errorf("seed %d K=%d: experiment %s differs:\nshard: %+v\nfull:  %+v",
+					tc.seed, tc.k, want.ID(), got, want)
+			}
+		}
+	}
+}
+
 func TestCampaignDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test is slow")

@@ -51,6 +51,31 @@ func (r Region) String() string {
 	}
 }
 
+// Short returns the region's canonical short name, the form used in
+// experiment IDs and journal headers.  ParseRegion inverts it.
+func (r Region) Short() string {
+	switch r {
+	case RegionRegularReg:
+		return "reg"
+	case RegionFPReg:
+		return "fp"
+	case RegionBSS:
+		return "bss"
+	case RegionData:
+		return "data"
+	case RegionStack:
+		return "stack"
+	case RegionText:
+		return "text"
+	case RegionHeap:
+		return "heap"
+	case RegionMessage:
+		return "message"
+	default:
+		return "region?"
+	}
+}
+
 // ParseRegion resolves a table row label or short name.
 func ParseRegion(s string) (Region, error) {
 	switch s {

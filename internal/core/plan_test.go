@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPlanEnumeration(t *testing.T) {
+	p := Plan{Regions: []Region{RegionRegularReg, RegionText, RegionMessage}, Injections: 5}
+	if p.Total() != 15 {
+		t.Fatalf("Total = %d, want 15", p.Total())
+	}
+	// Entry order is region-major, matching the experiment layout the
+	// pre-shard campaign loop produced.
+	if e := p.Entry(0); e.Region != RegionRegularReg || e.Index != 0 {
+		t.Errorf("Entry(0) = %+v", e)
+	}
+	if e := p.Entry(7); e.Region != RegionText || e.Index != 2 {
+		t.Errorf("Entry(7) = %+v", e)
+	}
+	if e := p.Entry(14); e.Region != RegionMessage || e.Index != 4 {
+		t.Errorf("Entry(14) = %+v", e)
+	}
+}
+
+func TestShardPartitionDisjointAndComplete(t *testing.T) {
+	plans := []Plan{
+		{Regions: Regions(), Injections: 7},
+		{Regions: []Region{RegionRegularReg}, Injections: 24},
+		{Regions: []Region{RegionHeap, RegionStack, RegionData}, Injections: 5},
+	}
+	for _, p := range plans {
+		for _, k := range []int{1, 2, 3, 4, 5, 8, 16} {
+			seen := make(map[string]int)
+			count := 0
+			for shard := 0; shard < k; shard++ {
+				for _, e := range p.Shard(shard, k) {
+					if prev, dup := seen[e.ID()]; dup {
+						t.Fatalf("K=%d: entry %s in both shard %d and %d", k, e.ID(), prev, shard)
+					}
+					seen[e.ID()] = shard
+					count++
+				}
+			}
+			if count != p.Total() {
+				t.Errorf("K=%d: shards cover %d of %d entries", k, count, p.Total())
+			}
+			for g := 0; g < p.Total(); g++ {
+				if _, ok := seen[p.Entry(g).ID()]; !ok {
+					t.Errorf("K=%d: entry %s missing from every shard", k, p.Entry(g).ID())
+				}
+			}
+		}
+	}
+}
+
+func TestShardSizesBalanced(t *testing.T) {
+	p := Plan{Regions: Regions(), Injections: 10} // 80 experiments
+	for _, k := range []int{3, 7} {
+		min, max := p.Total(), 0
+		for shard := 0; shard < k; shard++ {
+			n := len(p.Shard(shard, k))
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("K=%d: shard sizes range %d-%d, want within 1", k, min, max)
+		}
+	}
+}
+
+func TestEntryIDRoundTrip(t *testing.T) {
+	for _, region := range Regions() {
+		for _, idx := range []int{0, 1, 17, 499} {
+			e := PlanEntry{Region: region, Index: idx}
+			got, err := ParseEntryID(e.ID())
+			if err != nil {
+				t.Fatalf("ParseEntryID(%q): %v", e.ID(), err)
+			}
+			if got != e {
+				t.Errorf("round trip %q: got %+v", e.ID(), got)
+			}
+		}
+	}
+	for _, bad := range []string{"", "reg", "reg/", "reg/-1", "reg/x", "bogus/3"} {
+		if _, err := ParseEntryID(bad); err == nil {
+			t.Errorf("ParseEntryID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRegionShortRoundTrip(t *testing.T) {
+	for _, region := range Regions() {
+		got, err := ParseRegion(region.Short())
+		if err != nil {
+			t.Fatalf("ParseRegion(%q): %v", region.Short(), err)
+		}
+		if got != region {
+			t.Errorf("ParseRegion(%q) = %v, want %v", region.Short(), got, region)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if s, k, err := ParseShard("2/5"); err != nil || s != 2 || k != 5 {
+		t.Errorf("ParseShard(2/5) = %d,%d,%v", s, k, err)
+	}
+	for _, bad := range []string{"", "3", "3/", "/3", "3/3", "-1/3", "0/0", "a/b"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"mpifault/internal/classify"
+	"mpifault/internal/core"
+)
+
+// A campaign journal is an append-only JSONL checkpoint of finished
+// experiments: one header line identifying the campaign (app, seed,
+// injections, regions, ranks, shard), then one line per completed
+// experiment.  Journals make campaigns restartable — a killed run
+// resumes by replaying its journal into core.Config.Completed — and
+// mergeable: the union of K disjoint shard journals reconstructs the
+// single-process campaign exactly, because every experiment's outcome
+// is a pure function of (seed, region, index).
+
+// JournalFormat and JournalVersion identify the on-disk format.
+const (
+	JournalFormat  = "mpifault-campaign-journal"
+	JournalVersion = 1
+)
+
+// JournalHeader is the first line of a journal: the campaign identity
+// plus the shard this journal covers.
+type JournalHeader struct {
+	Format     string   `json:"format"`
+	Version    int      `json:"version"`
+	App        string   `json:"app"`
+	Seed       uint64   `json:"seed"`
+	Injections int      `json:"injections"`
+	Regions    []string `json:"regions"` // short names, plan order
+	Ranks      int      `json:"ranks"`
+	Shard      int      `json:"shard"`
+	NumShards  int      `json:"num_shards"`
+}
+
+// CampaignHeader builds the journal header for one application campaign.
+// cfg.Regions may be nil (meaning all regions, as in core.Run);
+// cfg.Injections must be positive.
+func CampaignHeader(app string, cfg core.Config) JournalHeader {
+	regions := cfg.Regions
+	if len(regions) == 0 {
+		regions = core.Regions()
+	}
+	short := make([]string, len(regions))
+	for i, r := range regions {
+		short[i] = r.Short()
+	}
+	numShards := cfg.NumShards
+	if numShards <= 0 {
+		numShards = 1
+	}
+	return JournalHeader{
+		Format:     JournalFormat,
+		Version:    JournalVersion,
+		App:        app,
+		Seed:       cfg.Seed,
+		Injections: cfg.Injections,
+		Regions:    short,
+		Ranks:      cfg.Ranks,
+		Shard:      cfg.Shard,
+		NumShards:  numShards,
+	}
+}
+
+// SameCampaign reports whether two headers describe shards of the same
+// campaign (everything but the shard coordinates must match).
+func (h JournalHeader) SameCampaign(o JournalHeader) bool {
+	if h.App != o.App || h.Seed != o.Seed || h.Injections != o.Injections ||
+		h.Ranks != o.Ranks || len(h.Regions) != len(o.Regions) {
+		return false
+	}
+	for i := range h.Regions {
+		if h.Regions[i] != o.Regions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PlanRegions parses the header's region list back into core regions.
+func (h JournalHeader) PlanRegions() ([]core.Region, error) {
+	regions := make([]core.Region, len(h.Regions))
+	for i, s := range h.Regions {
+		r, err := core.ParseRegion(s)
+		if err != nil {
+			return nil, fmt.Errorf("report: journal header: %v", err)
+		}
+		regions[i] = r
+	}
+	return regions, nil
+}
+
+// JournalEntry is one completed experiment, keyed by its plan ID.
+type JournalEntry struct {
+	ID         string `json:"id"`
+	Rank       int    `json:"rank"`
+	Trigger    uint64 `json:"trigger"`
+	Desc       string `json:"desc,omitempty"`
+	Outcome    string `json:"outcome"`
+	Detail     string `json:"detail,omitempty"`
+	Candidates int    `json:"candidates,omitempty"`
+}
+
+func entryFromExperiment(e core.Experiment) JournalEntry {
+	return JournalEntry{
+		ID:         e.ID(),
+		Rank:       e.Rank,
+		Trigger:    e.Trigger,
+		Desc:       e.Desc,
+		Outcome:    e.Outcome.String(),
+		Detail:     e.Detail,
+		Candidates: e.Candidates,
+	}
+}
+
+// Experiment inverts entryFromExperiment.
+func (je JournalEntry) Experiment() (core.Experiment, error) {
+	pe, err := core.ParseEntryID(je.ID)
+	if err != nil {
+		return core.Experiment{}, err
+	}
+	outcome, err := classify.ParseOutcome(je.Outcome)
+	if err != nil {
+		return core.Experiment{}, fmt.Errorf("report: journal entry %s: %v", je.ID, err)
+	}
+	return core.Experiment{
+		Region:     pe.Region,
+		Index:      pe.Index,
+		Rank:       je.Rank,
+		Trigger:    je.Trigger,
+		Desc:       je.Desc,
+		Outcome:    outcome,
+		Detail:     je.Detail,
+		Candidates: je.Candidates,
+	}, nil
+}
+
+// Journal is an open, appendable campaign journal.  Append is safe for
+// concurrent use, and every entry is flushed to the file before Append
+// returns, so a SIGKILL loses at most the entry being written — which
+// the truncation-tolerant reader simply re-runs on resume.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// CreateJournal starts a fresh journal at path, overwriting any
+// existing file, and writes the header line.
+func CreateJournal(path string, h JournalHeader) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	line, err := json.Marshal(h)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// ResumeJournal opens the journal at path for appending, returning the
+// experiments it already records (keyed by ID, for core.Config.Completed).
+// A missing file starts a fresh journal; an existing one must describe
+// the same campaign and shard as h.  A truncated tail — the footprint of
+// a killed campaign — is discarded, so the half-written experiment is
+// simply run again.
+func ResumeJournal(path string, h JournalHeader) (*Journal, map[string]core.Experiment, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		j, err := CreateJournal(path, h)
+		return j, nil, err
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	got, completed, valid, err := parseJournal(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("report: resume %s: %v", path, err)
+	}
+	if !got.SameCampaign(h) || got.Shard != h.Shard || got.NumShards != h.NumShards {
+		return nil, nil, fmt.Errorf("report: journal %s records a different campaign (app %s seed %d n %d shard %d/%d); refusing to mix",
+			path, got.App, got.Seed, got.Injections, got.Shard, got.NumShards)
+	}
+	if valid < len(data) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Journal{f: f}, completed, nil
+}
+
+// Append records one finished experiment.
+func (j *Journal) Append(e core.Experiment) error {
+	line, err := json.Marshal(entryFromExperiment(e))
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(append(line, '\n'))
+	return err
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ReadJournal loads a journal's header and completed experiments.
+func ReadJournal(path string) (JournalHeader, map[string]core.Experiment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return JournalHeader{}, nil, err
+	}
+	h, completed, _, err := parseJournal(data)
+	if err != nil {
+		return JournalHeader{}, nil, fmt.Errorf("report: %s: %v", path, err)
+	}
+	return h, completed, nil
+}
+
+// parseJournal scans the JSONL bytes, returning the header, the
+// experiments keyed by ID, and the length of the valid prefix.  Only a
+// line terminated by '\n' that unmarshals cleanly counts; the first
+// defective line and everything after it are treated as the truncated
+// tail of a killed run (valid < len(data)).  A defective header is a
+// hard error — there is nothing to resume.
+func parseJournal(data []byte) (h JournalHeader, completed map[string]core.Experiment, valid int, err error) {
+	off := 0
+	line := func() ([]byte, bool) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return nil, false
+		}
+		l := data[off : off+nl]
+		off += nl + 1
+		return l, true
+	}
+
+	hdr, ok := line()
+	if !ok {
+		return h, nil, 0, fmt.Errorf("missing journal header")
+	}
+	if err := json.Unmarshal(hdr, &h); err != nil {
+		return h, nil, 0, fmt.Errorf("bad journal header: %v", err)
+	}
+	if h.Format != JournalFormat || h.Version != JournalVersion {
+		return h, nil, 0, fmt.Errorf("not a %s v%d journal (format %q version %d)",
+			JournalFormat, JournalVersion, h.Format, h.Version)
+	}
+	valid = off
+
+	completed = make(map[string]core.Experiment)
+	for {
+		start := off
+		l, ok := line()
+		if !ok {
+			break
+		}
+		if len(bytes.TrimSpace(l)) == 0 {
+			valid = off
+			continue
+		}
+		var je JournalEntry
+		if err := json.Unmarshal(l, &je); err != nil {
+			return h, completed, start, nil
+		}
+		e, err := je.Experiment()
+		if err != nil {
+			return h, completed, start, nil
+		}
+		completed[je.ID] = e
+		valid = off
+	}
+	return h, completed, valid, nil
+}
+
+// Merged is the reconstruction of a complete campaign from shard
+// journals.
+type Merged struct {
+	App        string
+	Seed       uint64
+	Injections int
+	Ranks      int
+	Regions    []core.Region
+	Journals   int
+	// Result carries the merged tallies and experiments; rendering it
+	// with WriteCampaignCSV / WriteCampaign reproduces the
+	// single-process campaign's output byte for byte.
+	Result *core.Result
+}
+
+// MergeJournals reads shard journals and reconstructs the campaign.  It
+// fails unless the journals describe the same campaign, agree on every
+// duplicated experiment, and together cover the plan completely — the
+// disjoint/complete guarantee of Plan.Shard makes K well-formed shard
+// journals always satisfy this.
+func MergeJournals(paths []string) (*Merged, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("report: no journals to merge")
+	}
+	var base JournalHeader
+	byID := make(map[string]core.Experiment)
+	src := make(map[string]string)
+	for i, path := range paths {
+		h, exps, err := ReadJournal(path)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = h
+		} else if !h.SameCampaign(base) {
+			return nil, fmt.Errorf("report: %s records campaign (app %s seed %d n %d), %s records (app %s seed %d n %d); refusing to merge",
+				paths[0], base.App, base.Seed, base.Injections, path, h.App, h.Seed, h.Injections)
+		}
+		for id, e := range exps {
+			if prev, dup := byID[id]; dup {
+				if prev != e {
+					return nil, fmt.Errorf("report: experiment %s disagrees between %s and %s — journals are not shards of one campaign",
+						id, src[id], path)
+				}
+				continue
+			}
+			byID[id] = e
+			src[id] = path
+		}
+	}
+
+	regions, err := base.PlanRegions()
+	if err != nil {
+		return nil, err
+	}
+	plan := core.Plan{Regions: regions, Injections: base.Injections}
+	experiments := make([]core.Experiment, 0, plan.Total())
+	var missing []string
+	for g := 0; g < plan.Total(); g++ {
+		pe := plan.Entry(g)
+		e, ok := byID[pe.ID()]
+		if !ok {
+			missing = append(missing, pe.ID())
+			continue
+		}
+		experiments = append(experiments, e)
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("report: merge incomplete: %d of %d experiments missing (first: %s) — rerun the missing shards or resume them from their journals",
+			len(missing), plan.Total(), missing[0])
+	}
+
+	res := &core.Result{Experiments: experiments}
+	res.Tallies = core.TallyExperiments(regions, experiments)
+	res.Unclassified = core.CountUnapplied(experiments)
+	return &Merged{
+		App:        base.App,
+		Seed:       base.Seed,
+		Injections: base.Injections,
+		Ranks:      base.Ranks,
+		Regions:    regions,
+		Journals:   len(paths),
+		Result:     res,
+	}, nil
+}

@@ -1,0 +1,359 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"mpifault/internal/apps"
+	"mpifault/internal/classify"
+	"mpifault/internal/core"
+	"mpifault/internal/image"
+)
+
+func buildWavetoy(t testing.TB) (*image.Image, int) {
+	t.Helper()
+	a, err := apps.Get("wavetoy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := a.Build(a.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im, a.Default.Ranks
+}
+
+func syntheticHeader(injections int) JournalHeader {
+	return CampaignHeader("wavetoy", core.Config{
+		Injections: injections,
+		Regions:    []core.Region{core.RegionRegularReg},
+		Seed:       9,
+		Ranks:      2,
+	})
+}
+
+func syntheticExperiment(index int, outcome classify.Outcome) core.Experiment {
+	return core.Experiment{
+		Region:  core.RegionRegularReg,
+		Index:   index,
+		Rank:    index % 2,
+		Trigger: uint64(100 + index),
+		Desc:    "eax bit 3",
+		Outcome: outcome,
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	h := syntheticHeader(3)
+	j, err := CreateJournal(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Experiment{
+		syntheticExperiment(0, classify.Crash),
+		syntheticExperiment(1, classify.Correct),
+		syntheticExperiment(2, classify.Hang),
+	}
+	for _, e := range want {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, completed, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SameCampaign(h) || got.Shard != h.Shard || got.NumShards != h.NumShards {
+		t.Fatalf("header round trip: got %+v want %+v", got, h)
+	}
+	if len(completed) != len(want) {
+		t.Fatalf("read %d entries, wrote %d", len(completed), len(want))
+	}
+	for _, e := range want {
+		if completed[e.ID()] != e {
+			t.Errorf("entry %s: got %+v want %+v", e.ID(), completed[e.ID()], e)
+		}
+	}
+}
+
+func TestResumeTruncatedJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	h := syntheticHeader(4)
+	j, err := CreateJournal(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(syntheticExperiment(i, classify.Crash)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// A SIGKILL mid-append leaves a partial trailing line; the resume
+	// must drop exactly that line and stay appendable.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, completed, err := ResumeJournal(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 2 {
+		t.Fatalf("resume found %d complete entries, want 2 (truncated third dropped)", len(completed))
+	}
+	for i := 2; i < 4; i++ {
+		if err := j2.Append(syntheticExperiment(i, classify.Incorrect)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j2.Close()
+
+	_, final, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 4 {
+		t.Fatalf("after repair+append journal has %d entries, want 4", len(final))
+	}
+	if final["reg/2"].Outcome != classify.Incorrect {
+		t.Errorf("re-run entry reg/2 outcome = %v, want the new Incorrect", final["reg/2"].Outcome)
+	}
+}
+
+func TestResumeRejectsDifferentCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := CreateJournal(path, syntheticHeader(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	other := syntheticHeader(4)
+	other.Seed++
+	if _, _, err := ResumeJournal(path, other); err == nil {
+		t.Fatal("resume accepted a journal from a different campaign seed")
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	dir := t.TempDir()
+	h := syntheticHeader(2)
+	write := func(name string, hdr JournalHeader, exps ...core.Experiment) string {
+		path := filepath.Join(dir, name)
+		j, err := CreateJournal(path, hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range exps {
+			if err := j.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j.Close()
+		return path
+	}
+	a := write("a.jsonl", h, syntheticExperiment(0, classify.Crash))
+	b := write("b.jsonl", h, syntheticExperiment(1, classify.Correct))
+
+	if m, err := MergeJournals([]string{a, b}); err != nil {
+		t.Fatalf("complete merge failed: %v", err)
+	} else if len(m.Result.Experiments) != 2 {
+		t.Fatalf("merged %d experiments, want 2", len(m.Result.Experiments))
+	}
+
+	if _, err := MergeJournals([]string{a}); err == nil {
+		t.Error("incomplete merge (missing reg/1) accepted")
+	}
+
+	conflict := write("c.jsonl", h,
+		syntheticExperiment(0, classify.Hang), syntheticExperiment(1, classify.Correct))
+	if _, err := MergeJournals([]string{a, conflict}); err == nil {
+		t.Error("conflicting duplicate of reg/0 accepted")
+	}
+
+	otherH := h
+	otherH.Seed++
+	otherSeed := write("d.jsonl", otherH, syntheticExperiment(1, classify.Correct))
+	if _, err := MergeJournals([]string{a, otherSeed}); err == nil {
+		t.Error("merge across different campaign seeds accepted")
+	}
+}
+
+// TestMergedShardsByteIdentical is the determinism gate in Go-test form:
+// a campaign run as 3 journaled shards and merged must render the exact
+// bytes of the single-process campaign at the same seed, for both the
+// CSV and the table layout.
+func TestMergedShardsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test is slow")
+	}
+	im, ranks := buildWavetoy(t)
+	base := core.Config{
+		Image: im, Ranks: ranks, Injections: 6, Seed: 42,
+		Regions: []core.Region{core.RegionRegularReg, core.RegionText},
+	}
+
+	full, err := core.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCSV, wantTable bytes.Buffer
+	WriteCampaignCSV(&wantCSV, "wavetoy", full)
+	WriteCampaign(&wantTable, "wavetoy", full)
+
+	dir := t.TempDir()
+	const k = 3
+	paths := make([]string, k)
+	for shard := 0; shard < k; shard++ {
+		cfg := base
+		cfg.Shard, cfg.NumShards = shard, k
+		paths[shard] = filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", shard))
+		j, err := CreateJournal(paths[shard], CampaignHeader("wavetoy", cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.OnExperiment = func(e core.Experiment) {
+			if err := j.Append(e); err != nil {
+				t.Errorf("append: %v", err)
+			}
+		}
+		if _, err := core.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+	}
+
+	m, err := MergeJournals(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotCSV, gotTable bytes.Buffer
+	WriteCampaignCSV(&gotCSV, m.App, m.Result)
+	WriteCampaign(&gotTable, m.App, m.Result)
+
+	if !bytes.Equal(wantCSV.Bytes(), gotCSV.Bytes()) {
+		t.Errorf("merged CSV differs from single-process CSV:\n-- single --\n%s\n-- merged --\n%s",
+			wantCSV.Bytes(), gotCSV.Bytes())
+	}
+	if !bytes.Equal(wantTable.Bytes(), gotTable.Bytes()) {
+		t.Errorf("merged table differs from single-process table:\n-- single --\n%s\n-- merged --\n%s",
+			wantTable.Bytes(), gotTable.Bytes())
+	}
+}
+
+// TestResumeAfterCancelEqualsUninterrupted kills a journaled campaign
+// mid-run (stop after a few experiments), resumes it from the journal,
+// and requires the final CSV to equal an uninterrupted run's.
+func TestResumeAfterCancelEqualsUninterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test is slow")
+	}
+	im, ranks := buildWavetoy(t)
+	base := core.Config{
+		Image: im, Ranks: ranks, Injections: 8, Seed: 11,
+		Regions:     []core.Region{core.RegionRegularReg},
+		Parallelism: 1,
+	}
+
+	full, err := core.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	WriteCampaignCSV(&want, "wavetoy", full)
+
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	hdr := CampaignHeader("wavetoy", base)
+
+	// First leg: stop dispatching after 3 finished experiments.
+	j, err := CreateJournal(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var once sync.Once
+	count := 0
+	cfg := base
+	cfg.Stop = stop
+	cfg.OnExperiment = func(e core.Experiment) {
+		if err := j.Append(e); err != nil {
+			t.Errorf("append: %v", err)
+		}
+		count++
+		if count >= 3 {
+			once.Do(func() { close(stop) })
+		}
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if !res.Interrupted {
+		t.Fatal("campaign was not interrupted (stop fired too late to matter)")
+	}
+	_, partial, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) == 0 || len(partial) >= base.Injections {
+		t.Fatalf("interrupted journal has %d of %d experiments; expected a strict subset",
+			len(partial), base.Injections)
+	}
+
+	// Second leg: resume from the journal and finish.
+	j2, completed, err := ResumeJournal(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != len(partial) {
+		t.Fatalf("resume found %d completed, journal had %d", len(completed), len(partial))
+	}
+	cfg2 := base
+	cfg2.Completed = completed
+	cfg2.OnExperiment = func(e core.Experiment) {
+		if err := j2.Append(e); err != nil {
+			t.Errorf("append: %v", err)
+		}
+	}
+	res2, err := core.Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if res2.Interrupted {
+		t.Fatal("resumed run interrupted")
+	}
+
+	var got bytes.Buffer
+	WriteCampaignCSV(&got, "wavetoy", res2)
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Errorf("resumed CSV differs from uninterrupted run:\n-- uninterrupted --\n%s\n-- resumed --\n%s",
+			want.Bytes(), got.Bytes())
+	}
+
+	// The journal now covers the whole plan: merging the single journal
+	// must reproduce the same CSV a third way.
+	m, err := MergeJournals([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged bytes.Buffer
+	WriteCampaignCSV(&merged, m.App, m.Result)
+	if !bytes.Equal(want.Bytes(), merged.Bytes()) {
+		t.Error("merged resumed journal differs from uninterrupted CSV")
+	}
+}

@@ -73,6 +73,19 @@ func EstimationError(confidence float64, n int) (float64, error) {
 	return z * math.Sqrt(0.25/float64(n)), nil
 }
 
+// Describe renders the §4.3 sizing summary for a campaign of n
+// injections per region, e.g. "n=500 per region -> estimation error
+// 4.4% at 95% confidence".  Both CLIs print it, so the wording lives
+// here once.
+func Describe(confidence float64, n int) (string, error) {
+	d, err := EstimationError(confidence, n)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("n=%d per region -> estimation error %.1f%% at %.0f%% confidence",
+		n, 100*d, 100*confidence), nil
+}
+
 // ConfidenceInterval returns the Wald interval [lo, hi] (clamped to
 // [0, 1]) for a sample proportion p observed over n samples.
 func ConfidenceInterval(confidence float64, p float64, n int) (lo, hi float64, err error) {

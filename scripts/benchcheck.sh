@@ -1,0 +1,29 @@
+#!/bin/sh
+# scripts/benchcheck.sh — benchmark regression check against the
+# recorded reference in BENCH_vm.json.
+#
+# Re-runs the internal/vm benchmarks at a smoke-weight benchtime and
+# warns when any ns/op figure regressed more than the threshold vs the
+# recorded reference.  (A literal -benchtime 1x measures only harness
+# overhead — 1 iteration of a 10ns benchmark reports ~30000 ns/op, and
+# tiny fixed counts measure cache warm-up — so this uses a short
+# time-based benchtime: still sub-second, but the numbers are real.
+# The loose 25% default threshold absorbs the remaining noise.)  CI
+# runs this as a non-blocking step (continue-on-error), so a warning
+# never fails the pipeline — it shows up red in the job list for a
+# human to judge.
+#
+# Usage: scripts/benchcheck.sh [threshold-percent]
+set -eu
+cd "$(dirname "$0")/.."
+
+THRESHOLD=${1:-25}
+BENCHTIME=${BENCHTIME:-200ms}
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+echo "== internal/vm benchmarks ($BENCHTIME) =="
+go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/vm | tee "$OUT"
+
+echo "== compare vs BENCH_vm.json (threshold ${THRESHOLD}%) =="
+go run ./scripts/benchcmp -ref BENCH_vm.json -threshold "$THRESHOLD" < "$OUT"

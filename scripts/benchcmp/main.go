@@ -1,0 +1,114 @@
+// Command benchcmp compares `go test -bench` output on stdin against
+// the reference timings recorded in BENCH_vm.json and reports
+// regressions beyond a percentage threshold.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./internal/vm | \
+//	    go run ./scripts/benchcmp -ref BENCH_vm.json -threshold 25
+//
+// It exits 1 when any benchmark regressed past the threshold (CI runs
+// it as a non-blocking step, so a regression warns without failing the
+// pipeline) and 0 otherwise.  Benchmarks present on only one side are
+// reported but never fail the check.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type reference struct {
+	Benchmarks map[string]struct {
+		After struct {
+			Time float64 `json:"time"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	refPath := flag.String("ref", "BENCH_vm.json", "reference benchmark JSON")
+	threshold := flag.Float64("threshold", 25, "warn when ns/op regresses more than this percentage")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("benchcmp: ")
+
+	data, err := os.ReadFile(*refPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ref reference
+	if err := json.Unmarshal(data, &ref); err != nil {
+		log.Fatalf("%s: %v", *refPath, err)
+	}
+
+	measured := make(map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		name, nsPerOp, ok := parseBenchLine(sc.Text())
+		if ok {
+			measured[name] = nsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	regressed := 0
+	for name, entry := range ref.Benchmarks {
+		want := entry.After.Time
+		got, ok := measured[name]
+		if !ok || want == 0 {
+			if want != 0 {
+				fmt.Printf("benchcmp: %-22s reference %.4g ns/op, not measured this run\n", name, want)
+			}
+			continue
+		}
+		deltaPct := 100 * (got - want) / want
+		status := "ok"
+		if deltaPct > *threshold {
+			status = "REGRESSION"
+			regressed++
+		}
+		fmt.Printf("benchcmp: %-22s ref %.4g ns/op, now %.4g ns/op (%+.1f%%) %s\n",
+			name, want, got, deltaPct, status)
+	}
+	for name := range measured {
+		if _, ok := ref.Benchmarks[name]; !ok {
+			fmt.Printf("benchcmp: %-22s %.4g ns/op (no reference entry)\n", name, measured[name])
+		}
+	}
+	if regressed > 0 {
+		log.Fatalf("%d benchmark(s) regressed more than %.0f%% vs %s", regressed, *threshold, *refPath)
+	}
+}
+
+// parseBenchLine extracts (name, ns/op) from one line of `go test
+// -bench` output, e.g. "BenchmarkStep-8   1000   12.3 ns/op   0 B/op".
+// The "-N" GOMAXPROCS suffix is stripped so names match the reference.
+func parseBenchLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		name = name[:i]
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return name, v, true
+		}
+	}
+	return "", 0, false
+}

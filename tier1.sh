@@ -1,33 +1,69 @@
 #!/bin/sh
 # tier1.sh — the repo's tier-1 gate: formatting, vet, build, the full
 # test suite under the race detector, and a clean faultlint run over the
-# three guest applications.  Exits nonzero on the first failure.
+# three guest applications.  Exits nonzero on the first failure and
+# prints a per-stage wall-clock timing line after each stage.
+#
+# Environment:
+#   TIER1_QUICK=1  quick mode for CI matrix legs: runs the test suite
+#                  without the race detector and skips the benchmark
+#                  smoke.  The full (default) mode is the merge gate;
+#                  quick mode exists so the sharded-campaign matrix
+#                  stays fast.
 set -eu
 cd "$(dirname "$0")"
 
-echo "== gofmt =="
+QUICK=${TIER1_QUICK:-0}
+SCRIPT_T0=$(date +%s)
+
+begin() {
+	echo "== $1 =="
+	STAGE_NAME=$1
+	STAGE_T0=$(date +%s)
+}
+end() {
+	echo "-- $STAGE_NAME: $(($(date +%s) - STAGE_T0))s"
+}
+
+begin gofmt
 fmt=$(gofmt -l .)
 if [ -n "$fmt" ]; then
 	echo "gofmt needed on:" >&2
 	echo "$fmt" >&2
 	exit 1
 fi
+end
 
-echo "== go vet =="
+begin "go vet"
 go vet ./...
+end
 
-echo "== go build =="
+begin "go build"
 go build ./...
+end
 
-echo "== go test -race =="
-go test -race ./...
+if [ "$QUICK" = "1" ]; then
+	begin "go test (quick: no -race)"
+	go test ./...
+	end
+else
+	begin "go test -race"
+	go test -race ./...
+	end
+fi
 
-echo "== faultlint =="
+begin faultlint
 go run ./cmd/faultlint
+end
 
-echo "== benchmark smoke =="
-# One iteration of every benchmark: catches benchmarks that no longer
-# compile or crash, without measuring anything.
-go test -run '^$' -bench . -benchtime 1x ./...
+if [ "$QUICK" = "1" ]; then
+	echo "== benchmark smoke skipped (TIER1_QUICK=1) =="
+else
+	begin "benchmark smoke"
+	# One iteration of every benchmark: catches benchmarks that no longer
+	# compile or crash, without measuring anything.
+	go test -run '^$' -bench . -benchtime 1x ./...
+	end
+fi
 
-echo "tier1: OK"
+echo "tier1: OK ($(($(date +%s) - SCRIPT_T0))s total)"
