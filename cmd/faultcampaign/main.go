@@ -8,7 +8,22 @@
 //	              [-regions reg,fp,...] [-csv] [-quiet]
 //	              [-shard i/K] [-journal path] [-resume]
 //	              [-liveness live|dead] [-predict]
+//	              [-metrics-addr :9090] [-metrics-out snapshot.json]
+//	              [-status 2s] [-forensics]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
+//
+// -metrics-addr serves live campaign telemetry over HTTP while the
+// campaign runs (/metrics in the Prometheus text format, /metrics.json
+// as a JSON snapshot); -metrics-out writes one final JSON snapshot at
+// exit, and -status prints a one-line progress summary (rate, ETA,
+// outcome mix) to stderr at the given interval.  -forensics attaches a
+// flight recorder to the faulted rank of every experiment and records
+// the last executed PCs, the trap detail and the injection-to-
+// manifestation instruction count into the journal; faultmerge
+// summarises these as the §5.2 crash/hang-latency histogram.  All four
+// are off by default, in which case the campaign runs the exact same
+// code path — and produces byte-identical output — as before they
+// existed.
 //
 // -shard i/K runs only shard i of the K-way partition of the campaign
 // plan.  Because every experiment's random stream is derived from
@@ -40,6 +55,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -53,6 +70,7 @@ import (
 	"mpifault/internal/core"
 	"mpifault/internal/report"
 	"mpifault/internal/sampling"
+	"mpifault/internal/telemetry"
 )
 
 func main() {
@@ -74,6 +92,10 @@ func run() int {
 	predict := flag.Bool("predict", false, "print the static AVF prediction next to the measured rates")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve live campaign metrics over HTTP on this address (/metrics Prometheus text, /metrics.json JSON)")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
+	forensics := flag.Bool("forensics", false, "record per-experiment fault forensics (last executed PCs, trap detail, manifestation latency) into the journal")
+	statusEvery := flag.Duration("status", 0, "print a one-line campaign status to stderr at this interval (e.g. 2s; 0 = off)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcampaign: ")
@@ -103,6 +125,56 @@ func run() int {
 				log.Printf("memprofile: %v", err)
 			}
 		}()
+	}
+
+	// The registry exists only when some consumer asked for it; with all
+	// three surfaces off it stays nil and the campaign records nothing.
+	var metrics *telemetry.Registry
+	if *metricsAddr != "" || *metricsOut != "" || *statusEvery > 0 {
+		metrics = telemetry.New()
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Printf("metrics-addr: %v", err)
+			return 1
+		}
+		srv := &http.Server{Handler: telemetry.Handler(metrics)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "serving metrics at http://%s/metrics\n", ln.Addr())
+		}
+	}
+	if *metricsOut != "" {
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Printf("metrics-out: %v", err)
+				return
+			}
+			defer f.Close()
+			if err := metrics.Snapshot().WriteJSON(f); err != nil {
+				log.Printf("metrics-out: %v", err)
+			}
+		}()
+	}
+	if *statusEvery > 0 {
+		campaignStart := time.Now()
+		tick := time.NewTicker(*statusEvery)
+		statusDone := make(chan struct{})
+		go func() {
+			defer tick.Stop()
+			for {
+				select {
+				case <-statusDone:
+					return
+				case <-tick.C:
+					fmt.Fprintln(os.Stderr, telemetry.StatusLine(metrics.Snapshot(), time.Since(campaignStart)))
+				}
+			}
+		}()
+		defer close(statusDone)
 	}
 
 	var regionList []core.Region
@@ -193,6 +265,8 @@ func run() int {
 			Shard:       shard,
 			NumShards:   numShards,
 			Stop:        stop,
+			Metrics:     metrics,
+			Forensics:   *forensics,
 		}
 		var prog *analysis.Program
 		var live *analysis.Liveness

@@ -54,6 +54,9 @@ func run() int {
 	}
 
 	if *csv {
+		// CSV mode stays byte-identical to `faultcampaign -csv` — the
+		// determinism gate diffs it — so the forensics summary is
+		// table-mode only.
 		report.WriteCampaignCSV(os.Stdout, m.App, m.Result)
 	} else {
 		label := m.App
@@ -61,6 +64,7 @@ func run() int {
 			label = fmt.Sprintf("%s, stands in for %s", m.App, a.Paper)
 		}
 		report.WriteCampaign(os.Stdout, label, m.Result)
+		report.WriteLatencyHistogram(os.Stdout, m.Result.Experiments)
 	}
 
 	if m.Result.Unclassified > 0 {

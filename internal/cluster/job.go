@@ -14,6 +14,7 @@ import (
 	"mpifault/internal/image"
 	"mpifault/internal/mpi"
 	"mpifault/internal/progress"
+	"mpifault/internal/telemetry"
 	"mpifault/internal/vm"
 )
 
@@ -51,6 +52,14 @@ type Job struct {
 	// — the closest available analogue of ch_p4 over Ethernet.  Fault
 	// injection is unaffected: the hook still runs on received bytes.
 	UseTCPTransport bool
+	// Metrics, when non-nil, receives job telemetry: retired
+	// instructions, traps by signal, budget exhaustions, MPI message
+	// and byte counts, hang verdicts by cause, stall events and the
+	// peak Channel queue depth.  Aggregation happens once per job (at
+	// teardown and on watchdog ticks), never per instruction, so the
+	// interpreter hot path is unchanged and a nil Metrics job is
+	// byte-identical to one from before this field existed.
+	Metrics *telemetry.Registry
 }
 
 // RankResult is the terminal state of one rank.
@@ -223,6 +232,7 @@ func Run(job Job) *Result {
 		deadline := time.After(job.WallLimit)
 		var lastProgress uint64
 		consec := 0
+		wasStalled := false
 		for {
 			select {
 			case <-done:
@@ -231,6 +241,21 @@ func Run(job Job) *Result {
 				declareHang("wall-clock limit")
 				return
 			case <-tick.C:
+				if reg := job.Metrics; reg != nil {
+					// Telemetry piggybacks on the watchdog cadence: the
+					// peak Channel queue depth and rank-stall events are
+					// sampled here, not in any per-message path.
+					var depth int64
+					for r := 0; r < job.Size; r++ {
+						depth += int64(world.QueueDepth(r))
+					}
+					reg.Gauge(telemetry.MetricQueueDepthPeak).SetMax(depth)
+					stalled := world.Stalled()
+					if stalled && !wasStalled {
+						reg.Counter(telemetry.MetricStallEvents).Inc()
+					}
+					wasStalled = stalled
+				}
 				if job.DisableDeadlockDetector {
 					continue
 				}
@@ -257,7 +282,11 @@ func Run(job Job) *Result {
 
 	// Optional §7 progress-metric detector: messages per second.
 	if job.ProgressDetector != nil {
-		mon := progress.NewMonitor(*job.ProgressDetector, world.Progress)
+		detCfg := *job.ProgressDetector
+		if detCfg.Metrics == nil {
+			detCfg.Metrics = job.Metrics
+		}
+		mon := progress.NewMonitor(detCfg, world.Progress)
 		go func() {
 			if mon.Run(done) {
 				declareHang("progress metric collapse")
@@ -279,7 +308,41 @@ func Run(job Job) *Result {
 		res.Stdout[r] = ios[r].stdout
 		res.Stderr[r] = ios[r].appendSignalBanner(res.Ranks[r].Trap)
 	}
+	if job.Metrics != nil {
+		recordJobMetrics(job.Metrics, res)
+	}
 	return res
+}
+
+// recordJobMetrics aggregates a finished job into the registry.  It
+// runs once per job, after every rank goroutine has joined, so it reads
+// the terminal state without synchronization concerns and costs nothing
+// on the execution path the paper's timings depend on.
+func recordJobMetrics(reg *telemetry.Registry, res *Result) {
+	reg.Counter(telemetry.MetricJobs).Inc()
+	var instrs, ctrl, data, hdr, payload uint64
+	for r := range res.Ranks {
+		rr := &res.Ranks[r]
+		instrs += rr.Instrs
+		ctrl += rr.Stats.ControlMsgs
+		data += rr.Stats.DataMsgs
+		hdr += rr.Stats.HeaderBytes
+		payload += rr.Stats.PayloadBytes
+		if rr.Reason == vm.StopBudget {
+			reg.Counter(telemetry.MetricBudgetExhausted).Inc()
+		}
+		if t := rr.Trap; t != nil && t.Kind != vm.TrapExit {
+			reg.Counter(telemetry.TrapMetric(t.Kind.String())).Inc()
+		}
+	}
+	reg.Counter(telemetry.MetricInstrsRetired).Add(instrs)
+	reg.Counter(telemetry.MetricControlMsgs).Add(ctrl)
+	reg.Counter(telemetry.MetricDataMsgs).Add(data)
+	reg.Counter(telemetry.MetricHeaderBytes).Add(hdr)
+	reg.Counter(telemetry.MetricPayloadBytes).Add(payload)
+	if res.HangDetected {
+		reg.Counter(telemetry.HangMetric(res.HangCause)).Inc()
+	}
 }
 
 // CanonicalOutput concatenates the observable application output the

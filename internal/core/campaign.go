@@ -11,6 +11,7 @@ import (
 	"mpifault/internal/image"
 	"mpifault/internal/mpi"
 	"mpifault/internal/rng"
+	"mpifault/internal/telemetry"
 	"mpifault/internal/vm"
 )
 
@@ -70,6 +71,9 @@ type Experiment struct {
 	// Candidates is the register-bit candidate-set size the injection
 	// sampled from: 320 undirected, fewer under a liveness policy.
 	Candidates int
+	// Forensics is the flight record of the injected rank, present only
+	// when the campaign ran with Config.Forensics.
+	Forensics *Forensics
 }
 
 // ID returns the experiment's stable plan identity (see PlanEntry.ID).
@@ -138,6 +142,18 @@ type Config struct {
 	// is then partial and marked Interrupted — pair with a journal and
 	// Completed to resume later.
 	Stop <-chan struct{}
+	// Metrics, when non-nil, receives campaign telemetry: experiment
+	// counters by outcome, plan/shard progress, in-flight depth, the
+	// crash/hang-latency histograms, and per-job VM/MPI aggregates.
+	// Nil (the default) records nothing and changes no behaviour —
+	// fixed-seed outcomes are identical either way.
+	Metrics *telemetry.Registry
+	// Forensics attaches a flight recorder to every experiment's
+	// injected rank and fills Experiment.Forensics: the last retired
+	// PCs, the trap detail, and the injection-to-manifestation
+	// instruction distance (§5.2's crash latency).  Off by default; it
+	// observes without perturbing, so outcomes are unchanged.
+	Forensics bool
 }
 
 // Tally aggregates outcomes for one region.
@@ -264,6 +280,8 @@ func Run(cfg Config) (*Result, error) {
 
 	plan := Plan{Regions: cfg.Regions, Injections: cfg.Injections}
 	entries := plan.Shard(cfg.Shard, cfg.NumShards)
+	met := newCampaignMeters(cfg.Metrics)
+	met.planned.Add(uint64(len(entries)))
 
 	experiments := make([]Experiment, len(entries))
 	finished := make([]bool, len(entries))
@@ -278,6 +296,7 @@ func Run(cfg Config) (*Result, error) {
 		experiments[i] = Experiment{Region: pe.Region, Index: pe.Index}
 		todo = append(todo, i)
 	}
+	met.resumed.Add(uint64(len(entries) - len(todo)))
 
 	var (
 		wg    sync.WaitGroup
@@ -293,8 +312,12 @@ func Run(cfg Config) (*Result, error) {
 			defer wg.Done()
 			for idx := range next {
 				e := &experiments[idx]
+				met.started.Inc()
+				met.inflight.Add(1)
 				runOne(cfg, golden, dict, budget, e,
 					base.Derive(uint64(e.Region), uint64(e.Index)))
+				met.inflight.Add(-1)
+				met.observe(e)
 				mu.Lock()
 				finished[idx] = true
 				done++
@@ -375,6 +398,16 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 		MPIConfig: cfg.MPIConfig,
 		Budget:    budget,
 		WallLimit: cfg.WallLimit,
+		Metrics:   cfg.Metrics,
+	}
+
+	// The flight recorder rides the existing Tracer hook on the injected
+	// rank only; with forensics disabled the job runs hook-free.
+	var rec *vm.FlightRecorder
+	if cfg.Forensics {
+		rec = vm.NewFlightRecorder(forensicsDepth)
+		job.Tracer = rec
+		job.TraceRank = e.Rank
 	}
 
 	if e.Region == RegionMessage {
@@ -431,6 +464,9 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 	res := cluster.Run(job)
 	e.Outcome = classify.Classify(res, golden.Output)
 	e.Detail = res.FailureSummary()
+	if rec != nil {
+		e.Forensics = buildForensics(e, rec, res)
+	}
 	if mi != nil {
 		_, e.Desc = mi.Report()
 	} else {

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"mpifault/internal/cluster"
+	"mpifault/internal/vm"
+)
+
+// Forensics is the per-experiment flight record: what the injected
+// rank was doing between the fault and its manifestation.  It captures
+// the injection point on the instruction axis, the rank's terminal trap
+// and retired-instruction count, and the last program counters the
+// flight recorder saw.  Campaigns fill it only when Config.Forensics is
+// set; a nil record means forensics were disabled (older journals
+// deserialize that way too).
+type Forensics struct {
+	// InjectedAt is the retired-instruction index at which the fault was
+	// applied on the target rank (Experiment.Trigger for instruction-
+	// triggered regions).  Zero for message faults, whose trigger lives
+	// on the received-byte axis.
+	InjectedAt uint64 `json:"injected_at,omitempty"`
+	// ManifestedAt is the target rank's retired-instruction count when
+	// it stopped — at the trap for crashes, at teardown for hangs.
+	ManifestedAt uint64 `json:"manifested_at,omitempty"`
+	// Trap describes the rank's terminal trap (empty for a clean exit).
+	TrapKind string `json:"trap,omitempty"`
+	TrapPC   uint32 `json:"trap_pc,omitempty"`
+	TrapAddr uint32 `json:"trap_addr,omitempty"`
+	TrapMsg  string `json:"trap_msg,omitempty"`
+	// BudgetExhausted marks a rank stopped by the livelock instruction
+	// budget rather than a trap.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
+	// LastPCs are the most recently retired program counters on the
+	// target rank, oldest first.
+	LastPCs []uint32 `json:"last_pcs,omitempty"`
+}
+
+// Latency returns the instruction count from injection to
+// manifestation, when both ends are on the instruction axis.  This is
+// the §5.2 crash-latency measurement: the paper observes that "most
+// crashes occur within a few thousand instructions" of the injection.
+func (f *Forensics) Latency() (uint64, bool) {
+	if f == nil || f.InjectedAt == 0 || f.ManifestedAt < f.InjectedAt {
+		return 0, false
+	}
+	return f.ManifestedAt - f.InjectedAt, true
+}
+
+// forensicsDepth is the flight-recorder ring size: enough PCs to see
+// the final call chain without bloating journal lines.
+const forensicsDepth = 64
+
+// buildForensics assembles the flight record for the injected rank from
+// the finished job.
+func buildForensics(e *Experiment, rec *vm.FlightRecorder, res *cluster.Result) *Forensics {
+	rr := res.Ranks[e.Rank]
+	f := &Forensics{
+		ManifestedAt:    rr.Instrs,
+		BudgetExhausted: rr.Reason == vm.StopBudget,
+		LastPCs:         rec.LastPCs(),
+	}
+	if e.Region != RegionMessage {
+		f.InjectedAt = e.Trigger
+	}
+	if t := rr.Trap; t != nil && t.Kind != vm.TrapExit {
+		f.TrapKind = t.Kind.String()
+		f.TrapPC = t.PC
+		f.TrapAddr = t.Addr
+		f.TrapMsg = t.Msg
+	}
+	return f
+}

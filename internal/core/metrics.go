@@ -1,0 +1,56 @@
+package core
+
+import (
+	"mpifault/internal/classify"
+	"mpifault/internal/telemetry"
+)
+
+// campaignMeters pre-resolves every metric a campaign records, once,
+// before the worker loop.  The handles come from the nil-safe registry:
+// with telemetry disabled they are live-but-unregistered metrics, so
+// the workers run the identical code either way — a few uncontended
+// atomic adds per experiment, nothing per instruction.
+type campaignMeters struct {
+	planned, resumed, started, finished *telemetry.Counter
+	unapplied, corrupted                *telemetry.Counter
+	inflight                            *telemetry.Gauge
+	outcomes                            [classify.NumOutcomes]*telemetry.Counter
+	crashLatency, hangLatency           *telemetry.Histogram
+}
+
+func newCampaignMeters(reg *telemetry.Registry) *campaignMeters {
+	m := &campaignMeters{
+		planned:      reg.Counter(telemetry.MetricExperimentsPlanned),
+		resumed:      reg.Counter(telemetry.MetricExperimentsResumed),
+		started:      reg.Counter(telemetry.MetricExperimentsStarted),
+		finished:     reg.Counter(telemetry.MetricExperimentsFinished),
+		unapplied:    reg.Counter(telemetry.MetricUnapplied),
+		corrupted:    reg.Counter(telemetry.MetricMessagesCorrupted),
+		inflight:     reg.Gauge(telemetry.MetricExperimentsInflight),
+		crashLatency: reg.Histogram(telemetry.MetricCrashLatency, telemetry.LatencyBuckets),
+		hangLatency:  reg.Histogram(telemetry.MetricHangLatency, telemetry.LatencyBuckets),
+	}
+	for o := classify.Outcome(0); o < classify.NumOutcomes; o++ {
+		m.outcomes[o] = reg.Counter(telemetry.OutcomeMetric(o.String()))
+	}
+	return m
+}
+
+// observe records one finished experiment.
+func (m *campaignMeters) observe(e *Experiment) {
+	m.finished.Inc()
+	m.outcomes[e.Outcome].Inc()
+	if e.Unapplied() {
+		m.unapplied.Inc()
+	} else if e.Region == RegionMessage {
+		m.corrupted.Inc()
+	}
+	if lat, ok := e.Forensics.Latency(); ok {
+		switch e.Outcome {
+		case classify.Crash:
+			m.crashLatency.Observe(lat)
+		case classify.Hang:
+			m.hangLatency.Observe(lat)
+		}
+	}
+}

@@ -148,6 +148,12 @@ func (w *World) Progress() uint64 { return w.progress.Load() }
 // Inflight returns the number of packets enqueued but not yet pulled.
 func (w *World) Inflight() int64 { return w.inflight.Load() }
 
+// QueueDepth returns the number of packets currently parked in rank r's
+// Channel queue — the telemetry layer samples it for the queue-depth
+// high-water mark.  Reading a channel's length is racy by nature; the
+// value is a monitoring sample, not a synchronization primitive.
+func (w *World) QueueDepth(r int) int { return len(w.procs[r].in) }
+
 // RankState returns the execution state of rank r.
 func (w *World) RankState(r int) int32 { return w.procs[r].state.Load() }
 

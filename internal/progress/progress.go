@@ -14,6 +14,8 @@ package progress
 
 import (
 	"time"
+
+	"mpifault/internal/telemetry"
 )
 
 // Config tunes the detector.
@@ -30,6 +32,16 @@ type Config struct {
 	// Consecutive is how many stalled windows trigger the verdict.
 	// Default 3.
 	Consecutive int
+	// Ticks, when non-nil, replaces the wall-clock ticker: the monitor
+	// takes one sample per value received, and Window is ignored.  This
+	// is the injected clock — tests drive the monitor deterministically
+	// through it instead of sleeping real time.
+	Ticks <-chan time.Time
+	// Metrics, when non-nil, exposes the monitor's live state as
+	// telemetry gauges: the per-window rate, the learned baseline and
+	// the consecutive stalled-window count, plus a counter of stall
+	// verdicts.
+	Metrics *telemetry.Registry
 }
 
 func (c *Config) fill() {
@@ -63,8 +75,20 @@ func NewMonitor(cfg Config, sample func() uint64) *Monitor {
 // if a stall verdict was reached.  It is intended to run on its own
 // goroutine.
 func (m *Monitor) Run(stop <-chan struct{}) bool {
-	tick := time.NewTicker(m.cfg.Window)
-	defer tick.Stop()
+	ticks := m.cfg.Ticks
+	if ticks == nil {
+		tick := time.NewTicker(m.cfg.Window)
+		defer tick.Stop()
+		ticks = tick.C
+	}
+	// Nil-safe handles: with Metrics unset these are live but
+	// unregistered, so the loop below is branch-free either way.
+	var (
+		rateG     = m.cfg.Metrics.Gauge(telemetry.MetricProgressRate)
+		baseG     = m.cfg.Metrics.Gauge(telemetry.MetricProgressBaseline)
+		stalledG  = m.cfg.Metrics.Gauge(telemetry.MetricProgressStalledWins)
+		verdictsC = m.cfg.Metrics.Counter(telemetry.MetricProgressStallVerdicts)
+	)
 
 	var (
 		last      = m.sample()
@@ -76,15 +100,17 @@ func (m *Monitor) Run(stop <-chan struct{}) bool {
 		select {
 		case <-stop:
 			return false
-		case <-tick.C:
+		case <-ticks:
 			cur := m.sample()
 			rate := float64(cur - last)
 			last = cur
+			rateG.Set(int64(rate))
 
 			if nBaseline < m.cfg.BaselineWindows {
 				// Learning phase: accumulate the expected per-window rate.
 				baseline += rate
 				nBaseline++
+				baseG.Set(int64(baseline / float64(nBaseline)))
 				continue
 			}
 			expected := baseline / float64(nBaseline)
@@ -95,11 +121,14 @@ func (m *Monitor) Run(stop <-chan struct{}) bool {
 			}
 			if rate < m.cfg.Threshold*expected {
 				stalled++
+				stalledG.Set(int64(stalled))
 				if stalled >= m.cfg.Consecutive {
+					verdictsC.Inc()
 					return true
 				}
 			} else {
 				stalled = 0
+				stalledG.Set(0)
 			}
 		}
 	}

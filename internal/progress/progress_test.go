@@ -1,112 +1,114 @@
 package progress
 
 import (
-	"sync/atomic"
 	"testing"
 	"time"
+
+	"mpifault/internal/telemetry"
 )
 
-func TestDetectsStallAfterBaseline(t *testing.T) {
-	var counter atomic.Uint64
-	stopFeeding := make(chan struct{})
-	go func() {
-		tick := time.NewTicker(200 * time.Microsecond)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stopFeeding:
-				return
-			case <-tick.C:
-				counter.Add(10)
-			}
-		}
-	}()
+// driver runs a Monitor against a fully injected clock: ticks arrive
+// only when the test sends them, and every sample value is delivered
+// through a channel the monitor blocks on.  The monitor's entire
+// schedule is therefore deterministic — no sleeps, no wall-clock
+// dependence, no flakes under load.
+type driver struct {
+	ticks  chan time.Time
+	vals   chan uint64
+	result chan bool
+	stop   chan struct{}
+}
 
-	mon := NewMonitor(Config{
-		Window:          3 * time.Millisecond,
-		BaselineWindows: 3,
-		Threshold:       0.05,
-		Consecutive:     2,
-	}, counter.Load)
-
-	stop := make(chan struct{})
-	result := make(chan bool, 1)
-	go func() { result <- mon.Run(stop) }()
-
-	// Feed progress for a while, then stall.
-	time.Sleep(30 * time.Millisecond)
-	close(stopFeeding)
-
-	select {
-	case got := <-result:
-		if !got {
-			t.Fatal("monitor returned without a stall verdict")
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("stall never detected")
+func startDriver(cfg Config) *driver {
+	d := &driver{
+		ticks:  make(chan time.Time),
+		vals:   make(chan uint64),
+		result: make(chan bool, 1),
+		stop:   make(chan struct{}),
 	}
-	close(stop)
+	cfg.Ticks = d.ticks
+	mon := NewMonitor(cfg, func() uint64 { return <-d.vals })
+	go func() { d.result <- mon.Run(d.stop) }()
+	return d
+}
+
+// window advances one sampling window: one tick, then the counter value
+// the monitor reads for it.
+func (d *driver) window(counter uint64) {
+	d.ticks <- time.Time{}
+	d.vals <- counter
+}
+
+func (d *driver) wait(t *testing.T) bool {
+	t.Helper()
+	select {
+	case got := <-d.result:
+		return got
+	case <-time.After(5 * time.Second):
+		t.Fatal("monitor did not return")
+		return false
+	}
+}
+
+func TestDetectsStallAfterBaseline(t *testing.T) {
+	d := startDriver(Config{BaselineWindows: 3, Threshold: 0.05, Consecutive: 2})
+	d.vals <- 0 // initial sample
+	// Baseline: 100 events per window.
+	d.window(100)
+	d.window(200)
+	d.window(300)
+	// Stall: the counter stops moving for Consecutive windows.
+	d.window(300)
+	d.window(300)
+	if !d.wait(t) {
+		t.Fatal("monitor returned without a stall verdict")
+	}
 }
 
 func TestNoFalsePositiveWhileProgressing(t *testing.T) {
-	var counter atomic.Uint64
-	done := make(chan struct{})
-	go func() {
-		tick := time.NewTicker(200 * time.Microsecond)
-		defer tick.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-tick.C:
-				counter.Add(5)
-			}
-		}
-	}()
-
-	mon := NewMonitor(Config{
-		Window:          2 * time.Millisecond,
-		BaselineWindows: 3,
-		Threshold:       0.05,
-		Consecutive:     3,
-	}, counter.Load)
-
-	stop := make(chan struct{})
-	result := make(chan bool, 1)
-	go func() { result <- mon.Run(stop) }()
-
-	time.Sleep(50 * time.Millisecond)
-	close(stop)
-	if got := <-result; got {
+	d := startDriver(Config{BaselineWindows: 3, Threshold: 0.05, Consecutive: 3})
+	d.vals <- 0
+	c := uint64(0)
+	for i := 0; i < 20; i++ {
+		c += 50 // steady rate, well above threshold
+		d.window(c)
+	}
+	close(d.stop)
+	if d.wait(t) {
 		t.Fatal("false stall verdict on steady progress")
 	}
-	close(done)
+}
+
+func TestRecoveryResetsStallCount(t *testing.T) {
+	d := startDriver(Config{BaselineWindows: 2, Threshold: 0.5, Consecutive: 2})
+	d.vals <- 0
+	d.window(100) // baseline
+	d.window(200) // baseline (rate 100)
+	d.window(200) // stalled 1
+	d.window(300) // recovery: stall count must reset
+	d.window(300) // stalled 1 again — still no verdict
+	d.window(300) // stalled 2 — verdict
+	if !d.wait(t) {
+		t.Fatal("expected a verdict after a second full stall sequence")
+	}
 }
 
 func TestUnusableMetricGivesUp(t *testing.T) {
 	// A counter that never moves cannot establish a baseline; the
 	// monitor must exit false rather than flag a stall.
-	mon := NewMonitor(Config{
-		Window:          time.Millisecond,
-		BaselineWindows: 2,
-	}, func() uint64 { return 0 })
-	stop := make(chan struct{})
-	result := make(chan bool, 1)
-	go func() { result <- mon.Run(stop) }()
-	select {
-	case got := <-result:
-		if got {
-			t.Fatal("zero-baseline metric must not produce a verdict")
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("monitor did not give up on an unusable metric")
+	d := startDriver(Config{BaselineWindows: 2})
+	d.vals <- 0
+	d.window(0)
+	d.window(0)
+	d.window(0) // first post-baseline window: expected == 0 → give up
+	if d.wait(t) {
+		t.Fatal("zero-baseline metric must not produce a verdict")
 	}
-	close(stop)
 }
 
 func TestStopTerminatesRun(t *testing.T) {
-	var counter atomic.Uint64
-	mon := NewMonitor(Config{Window: time.Millisecond}, counter.Load)
+	ticks := make(chan time.Time)
+	mon := NewMonitor(Config{Ticks: ticks}, func() uint64 { return 0 })
 	stop := make(chan struct{})
 	result := make(chan bool, 1)
 	go func() { result <- mon.Run(stop) }()
@@ -116,8 +118,51 @@ func TestStopTerminatesRun(t *testing.T) {
 		if got {
 			t.Fatal("stopped monitor reported a stall")
 		}
-	case <-time.After(time.Second):
+	case <-time.After(5 * time.Second):
 		t.Fatal("monitor ignored stop")
+	}
+}
+
+func TestRealTickerStillWorks(t *testing.T) {
+	// The production configuration (no injected clock) must still run
+	// off a real ticker; only liveness is asserted, not timing.
+	mon := NewMonitor(Config{Window: time.Millisecond, BaselineWindows: 2},
+		func() uint64 { return 0 })
+	result := make(chan bool, 1)
+	go func() { result <- mon.Run(make(chan struct{})) }()
+	select {
+	case got := <-result:
+		if got {
+			t.Fatal("zero-baseline metric must not produce a verdict")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("real-ticker monitor did not give up on a dead metric")
+	}
+}
+
+func TestGaugesExposeStallState(t *testing.T) {
+	reg := telemetry.New()
+	d := startDriver(Config{BaselineWindows: 2, Threshold: 0.5, Consecutive: 2, Metrics: reg})
+	d.vals <- 0
+	d.window(100)
+	d.window(200)
+	d.window(200)
+	d.window(200)
+	if !d.wait(t) {
+		t.Fatal("expected stall verdict")
+	}
+	s := reg.Snapshot()
+	if got := s.Gauges[telemetry.MetricProgressStalledWins]; got != 2 {
+		t.Fatalf("stalled-windows gauge = %d, want 2", got)
+	}
+	if got := s.Gauges[telemetry.MetricProgressBaseline]; got != 100 {
+		t.Fatalf("baseline gauge = %d, want 100", got)
+	}
+	if got := s.Counters[telemetry.MetricProgressStallVerdicts]; got != 1 {
+		t.Fatalf("verdict counter = %d, want 1", got)
+	}
+	if got := s.Gauges[telemetry.MetricProgressRate]; got != 0 {
+		t.Fatalf("rate gauge = %d, want 0 after stall", got)
 	}
 }
 

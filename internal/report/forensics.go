@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"mpifault/internal/classify"
+	"mpifault/internal/core"
+	"mpifault/internal/telemetry"
+)
+
+// WriteLatencyHistogram renders the manifestation-latency distribution
+// the paper discusses in §5.2: how many instructions elapse between the
+// injection and the moment the fault manifests — the trap for a crash,
+// the hang verdict for a hang.  Only experiments carrying forensics
+// with a usable latency contribute (message faults trigger on a byte
+// offset, not an instruction count, so they are excluded by
+// construction); if none do, nothing is printed.
+func WriteLatencyHistogram(w io.Writer, experiments []core.Experiment) {
+	crash := telemetry.NewHistogram(telemetry.LatencyBuckets)
+	hang := telemetry.NewHistogram(telemetry.LatencyBuckets)
+	for _, e := range experiments {
+		lat, ok := e.Forensics.Latency()
+		if !ok {
+			continue
+		}
+		switch e.Outcome {
+		case classify.Crash:
+			crash.Observe(lat)
+		case classify.Hang:
+			hang.Observe(lat)
+		}
+	}
+	if crash.Count() == 0 && hang.Count() == 0 {
+		return
+	}
+	cs, hs := crash.Snapshot(), hang.Snapshot()
+
+	fmt.Fprintf(w, "Fault manifestation latency (instructions from injection, per §5.2):\n")
+	fmt.Fprintf(w, "  %-16s %10s %10s\n", "latency <=", "crashes", "hangs")
+	for i := range cs.Counts {
+		label := "+Inf"
+		if i < len(cs.Bounds) {
+			label = fmt.Sprintf("%d", cs.Bounds[i])
+		}
+		fmt.Fprintf(w, "  %-16s %10d %10d\n", label, cs.Counts[i], hs.Counts[i])
+	}
+	fmt.Fprintf(w, "  %-16s %10d %10d\n", "total", cs.Count, hs.Count)
+	if cs.Count > 0 {
+		fmt.Fprintf(w, "  mean crash latency: %.0f instructions\n",
+			float64(cs.Sum)/float64(cs.Count))
+	}
+	if hs.Count > 0 {
+		fmt.Fprintf(w, "  mean hang latency:  %.0f instructions\n",
+			float64(hs.Sum)/float64(hs.Count))
+	}
+}

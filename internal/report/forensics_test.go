@@ -1,0 +1,193 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpifault/internal/classify"
+	"mpifault/internal/core"
+)
+
+func syntheticForensics() *core.Forensics {
+	return &core.Forensics{
+		InjectedAt:   100,
+		ManifestedAt: 1350,
+		TrapKind:     "SIGSEGV",
+		TrapPC:       0x0804b430,
+		TrapAddr:     0xbfefffb0,
+		TrapMsg:      "store",
+		LastPCs:      []uint32{0x8048000, 0x8048008, 0x8048010},
+	}
+}
+
+func TestJournalForensicsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := CreateJournal(path, syntheticHeader(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withF := syntheticExperiment(0, classify.Crash)
+	withF.Forensics = syntheticForensics()
+	withoutF := syntheticExperiment(1, classify.Correct)
+	for _, e := range []core.Experiment{withF, withoutF} {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	_, completed, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := completed["reg/0"]
+	if got.Forensics == nil {
+		t.Fatal("forensics lost in round trip")
+	}
+	if !reflect.DeepEqual(got.Forensics, withF.Forensics) {
+		t.Errorf("forensics round trip:\ngot:  %+v\nwant: %+v", got.Forensics, withF.Forensics)
+	}
+	if completed["reg/1"].Forensics != nil {
+		t.Errorf("experiment without forensics gained %+v", completed["reg/1"].Forensics)
+	}
+}
+
+// TestOldJournalStillParses feeds the parser a journal in the exact
+// pre-forensics on-disk format; it must read, resume and merge as
+// before, with nil Forensics throughout.
+func TestOldJournalStillParses(t *testing.T) {
+	old := `{"format":"mpifault-campaign-journal","version":1,"app":"wavetoy","seed":9,"injections":2,"regions":["reg"],"ranks":2,"shard":0,"num_shards":1}
+{"id":"reg/0","rank":0,"trigger":100,"desc":"eax bit 3","outcome":"Crash"}
+{"id":"reg/1","rank":1,"trigger":101,"desc":"eax bit 3","outcome":"Correct"}
+`
+	path := filepath.Join(t.TempDir(), "old.jsonl")
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, completed, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 2 {
+		t.Fatalf("old journal read %d entries, want 2", len(completed))
+	}
+	for id, e := range completed {
+		if e.Forensics != nil {
+			t.Errorf("%s: old journal entry has forensics %+v", id, e.Forensics)
+		}
+	}
+	if m, err := MergeJournals([]string{path}); err != nil {
+		t.Fatalf("old journal failed to merge: %v", err)
+	} else if len(m.Result.Experiments) != 2 {
+		t.Fatalf("old journal merged %d experiments, want 2", len(m.Result.Experiments))
+	}
+}
+
+// TestMergeMixedForensicsDuplicates covers overlapping shards where one
+// ran with the flight recorder and one without: the outcome agreement
+// check must ignore forensics, and the merge must keep the enriched
+// record.
+func TestMergeMixedForensicsDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	h := syntheticHeader(2)
+	write := func(name string, exps ...core.Experiment) string {
+		path := filepath.Join(dir, name)
+		j, err := CreateJournal(path, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range exps {
+			if err := j.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j.Close()
+		return path
+	}
+
+	plain0 := syntheticExperiment(0, classify.Crash)
+	rich0 := plain0
+	rich0.Forensics = syntheticForensics()
+	e1 := syntheticExperiment(1, classify.Correct)
+
+	a := write("a.jsonl", plain0, e1)
+	b := write("b.jsonl", rich0)
+	for _, order := range [][]string{{a, b}, {b, a}} {
+		m, err := MergeJournals(order)
+		if err != nil {
+			t.Fatalf("merge %v: %v", order, err)
+		}
+		var got *core.Forensics
+		for _, e := range m.Result.Experiments {
+			if e.Region == core.RegionRegularReg && e.Index == 0 {
+				got = e.Forensics
+			}
+		}
+		if got == nil {
+			t.Errorf("merge %v dropped the forensics-bearing duplicate", order)
+		}
+	}
+
+	// A genuine outcome disagreement must still be rejected even when
+	// forensics differ too.
+	bad0 := rich0
+	bad0.Outcome = classify.Hang
+	c := write("c.jsonl", bad0)
+	if _, err := MergeJournals([]string{a, c}); err == nil {
+		t.Error("outcome disagreement hidden by forensics was accepted")
+	}
+}
+
+func TestForensicsLatency(t *testing.T) {
+	cases := []struct {
+		f    *core.Forensics
+		want uint64
+		ok   bool
+	}{
+		{nil, 0, false},
+		{&core.Forensics{InjectedAt: 0, ManifestedAt: 50}, 0, false},   // message fault: no instruction trigger
+		{&core.Forensics{InjectedAt: 100, ManifestedAt: 90}, 0, false}, // manifested before injection: bogus
+		{&core.Forensics{InjectedAt: 100, ManifestedAt: 1350}, 1250, true},
+		{&core.Forensics{InjectedAt: 100, ManifestedAt: 100}, 0, true},
+	}
+	for i, c := range cases {
+		got, ok := c.f.Latency()
+		if got != c.want || ok != c.ok {
+			t.Errorf("case %d: Latency() = (%d, %v), want (%d, %v)", i, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestWriteLatencyHistogram(t *testing.T) {
+	crash := syntheticExperiment(0, classify.Crash)
+	crash.Forensics = &core.Forensics{InjectedAt: 100, ManifestedAt: 1600} // latency 1500 → <=10000 bucket
+	hang := syntheticExperiment(1, classify.Hang)
+	hang.Forensics = &core.Forensics{InjectedAt: 50, ManifestedAt: 149} // latency 99 → <=100 bucket
+	noF := syntheticExperiment(2, classify.Crash)
+	msg := syntheticExperiment(3, classify.Crash)
+	msg.Forensics = &core.Forensics{ManifestedAt: 500} // message fault: excluded
+
+	var b strings.Builder
+	WriteLatencyHistogram(&b, []core.Experiment{crash, hang, noF, msg})
+	out := b.String()
+	for _, want := range []string{
+		"§5.2",
+		"mean crash latency: 1500 instructions",
+		"mean hang latency:  99 instructions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram output missing %q:\n%s", want, out)
+		}
+	}
+
+	// No forensics anywhere → no output at all (keeps faultmerge quiet
+	// on pre-forensics journals).
+	b.Reset()
+	WriteLatencyHistogram(&b, []core.Experiment{noF})
+	if b.Len() != 0 {
+		t.Errorf("histogram printed without any forensics:\n%s", b.String())
+	}
+}

@@ -98,15 +98,20 @@ func (h JournalHeader) PlanRegions() ([]core.Region, error) {
 	return regions, nil
 }
 
-// JournalEntry is one completed experiment, keyed by its plan ID.
+// JournalEntry is one completed experiment, keyed by its plan ID.  The
+// forensics field is optional: journals written before the flight
+// recorder existed (or with it disabled) simply omit it, and such
+// entries deserialize with a nil Forensics — old journals resume and
+// merge unchanged.
 type JournalEntry struct {
-	ID         string `json:"id"`
-	Rank       int    `json:"rank"`
-	Trigger    uint64 `json:"trigger"`
-	Desc       string `json:"desc,omitempty"`
-	Outcome    string `json:"outcome"`
-	Detail     string `json:"detail,omitempty"`
-	Candidates int    `json:"candidates,omitempty"`
+	ID         string          `json:"id"`
+	Rank       int             `json:"rank"`
+	Trigger    uint64          `json:"trigger"`
+	Desc       string          `json:"desc,omitempty"`
+	Outcome    string          `json:"outcome"`
+	Detail     string          `json:"detail,omitempty"`
+	Candidates int             `json:"candidates,omitempty"`
+	Forensics  *core.Forensics `json:"forensics,omitempty"`
 }
 
 func entryFromExperiment(e core.Experiment) JournalEntry {
@@ -118,6 +123,7 @@ func entryFromExperiment(e core.Experiment) JournalEntry {
 		Outcome:    e.Outcome.String(),
 		Detail:     e.Detail,
 		Candidates: e.Candidates,
+		Forensics:  e.Forensics,
 	}
 }
 
@@ -140,6 +146,7 @@ func (je JournalEntry) Experiment() (core.Experiment, error) {
 		Outcome:    outcome,
 		Detail:     je.Detail,
 		Candidates: je.Candidates,
+		Forensics:  je.Forensics,
 	}, nil
 }
 
@@ -294,6 +301,16 @@ func parseJournal(data []byte) (h JournalHeader, completed map[string]core.Exper
 	return h, completed, valid, nil
 }
 
+// sameExperiment reports whether two journal records describe the same
+// experiment outcome.  Forensics is deliberately excluded from the
+// comparison: it is auxiliary diagnostic data, and shards of one
+// campaign may legitimately differ in whether the flight recorder was
+// enabled (old journals have none at all).
+func sameExperiment(a, b core.Experiment) bool {
+	a.Forensics, b.Forensics = nil, nil
+	return a == b
+}
+
 // Merged is the reconstruction of a complete campaign from shard
 // journals.
 type Merged struct {
@@ -334,9 +351,14 @@ func MergeJournals(paths []string) (*Merged, error) {
 		}
 		for id, e := range exps {
 			if prev, dup := byID[id]; dup {
-				if prev != e {
+				if !sameExperiment(prev, e) {
 					return nil, fmt.Errorf("report: experiment %s disagrees between %s and %s — journals are not shards of one campaign",
 						id, src[id], path)
+				}
+				// Keep whichever duplicate carries forensics, so a shard
+				// run with the flight recorder enriches one run without.
+				if prev.Forensics == nil && e.Forensics != nil {
+					byID[id] = e
 				}
 				continue
 			}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Exposition: the same Snapshot rendered two ways.  The Prometheus text
+// format is what a scrape expects at /metrics; the JSON form is both the
+// /metrics.json endpoint and the end-of-campaign snapshot artifact CI
+// uploads.  Both renderings are deterministic (names sorted) so they can
+// be golden-tested.
+
+// baseName strips a {label="..."} suffix, returning the metric family a
+// # TYPE line describes.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), with one # TYPE line per metric family.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	writeFamily := func(names []string, kind string, value func(string) string) {
+		sort.Strings(names)
+		lastBase := ""
+		for _, name := range names {
+			if b := baseName(name); b != lastBase {
+				fmt.Fprintf(w, "# TYPE %s %s\n", b, kind)
+				lastBase = b
+			}
+			fmt.Fprintf(w, "%s %s\n", name, value(name))
+		}
+	}
+
+	counters := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		counters = append(counters, name)
+	}
+	writeFamily(counters, "counter", func(n string) string {
+		return fmt.Sprintf("%d", s.Counters[n])
+	})
+
+	gauges := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
+		gauges = append(gauges, name)
+	}
+	writeFamily(gauges, "gauge", func(n string) string {
+		return fmt.Sprintf("%d", s.Gauges[n])
+	})
+
+	hists := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hists = append(hists, name)
+	}
+	sort.Strings(hists)
+	for _, name := range hists {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		cum := uint64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}
+
+// WriteJSON renders the snapshot as indented JSON (keys sorted, trailing
+// newline) — the same bytes at the /metrics.json endpoint and in the
+// -metrics-out file.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot
+//	/              a plain-text index of the two
+//
+// Every request takes a fresh snapshot, so a scrape mid-campaign sees
+// the live state.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "mpifault campaign telemetry\n/metrics       Prometheus text\n/metrics.json  JSON snapshot\n")
+	})
+	return mux
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenRegistry builds a registry with one of everything, including a
+// labelled counter family, so the golden strings below pin the full
+// exposition grammar.
+func goldenRegistry() *Registry {
+	reg := New()
+	reg.Counter("mpifault_experiments_finished_total").Add(3)
+	reg.Counter(`mpifault_vm_traps_total{signal="SIGSEGV"}`).Add(2)
+	reg.Counter(`mpifault_vm_traps_total{signal="SIGFPE"}`).Inc()
+	reg.Gauge("mpifault_experiments_inflight").Set(4)
+	h := reg.Histogram("mpifault_crash_latency_instructions", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	return reg
+}
+
+const goldenPrometheus = `# TYPE mpifault_experiments_finished_total counter
+mpifault_experiments_finished_total 3
+# TYPE mpifault_vm_traps_total counter
+mpifault_vm_traps_total{signal="SIGFPE"} 1
+mpifault_vm_traps_total{signal="SIGSEGV"} 2
+# TYPE mpifault_experiments_inflight gauge
+mpifault_experiments_inflight 4
+# TYPE mpifault_crash_latency_instructions histogram
+mpifault_crash_latency_instructions_bucket{le="10"} 1
+mpifault_crash_latency_instructions_bucket{le="100"} 2
+mpifault_crash_latency_instructions_bucket{le="+Inf"} 3
+mpifault_crash_latency_instructions_sum 555
+mpifault_crash_latency_instructions_count 3
+`
+
+const goldenJSON = `{
+  "counters": {
+    "mpifault_experiments_finished_total": 3,
+    "mpifault_vm_traps_total{signal=\"SIGFPE\"}": 1,
+    "mpifault_vm_traps_total{signal=\"SIGSEGV\"}": 2
+  },
+  "gauges": {
+    "mpifault_experiments_inflight": 4
+  },
+  "histograms": {
+    "mpifault_crash_latency_instructions": {
+      "bounds": [
+        10,
+        100
+      ],
+      "counts": [
+        1,
+        1,
+        1
+      ],
+      "sum": 555,
+      "count": 3
+    }
+  }
+}
+`
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	goldenRegistry().Snapshot().WritePrometheus(&b)
+	if b.String() != goldenPrometheus {
+		t.Errorf("Prometheus exposition drifted:\ngot:\n%s\nwant:\n%s", b.String(), goldenPrometheus)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenJSON {
+		t.Errorf("JSON exposition drifted:\ngot:\n%s\nwant:\n%s", b.String(), goldenJSON)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler(goldenRegistry()))
+	defer srv.Close()
+
+	get := func(path string) (string, string, int) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type"), resp.StatusCode
+	}
+
+	body, ctype, code := get("/metrics")
+	if code != http.StatusOK || body != goldenPrometheus {
+		t.Errorf("/metrics: status %d body:\n%s", code, body)
+	}
+	if ctype != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type = %q", ctype)
+	}
+
+	body, ctype, code = get("/metrics.json")
+	if code != http.StatusOK || body != goldenJSON {
+		t.Errorf("/metrics.json: status %d body:\n%s", code, body)
+	}
+	if ctype != "application/json" {
+		t.Errorf("/metrics.json Content-Type = %q", ctype)
+	}
+
+	if _, _, code = get("/"); code != http.StatusOK {
+		t.Errorf("/ status = %d", code)
+	}
+	if _, _, code = get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope status = %d, want 404", code)
+	}
+}
+
+func TestStatusLine(t *testing.T) {
+	reg := New()
+	reg.Counter(MetricExperimentsPlanned).Add(800)
+	reg.Counter(MetricExperimentsFinished).Add(242)
+	reg.Counter(MetricExperimentsResumed).Add(100)
+	reg.Counter(OutcomeMetric("Correct")).Add(200)
+	reg.Counter(OutcomeMetric("Crash")).Add(31)
+	reg.Counter(OutcomeMetric("Hang")).Add(11)
+	reg.Counter(OutcomeMetric("MPI Detected")) // zero: must not appear
+
+	got := StatusLine(reg.Snapshot(), 10*time.Second)
+	want := "342/800 experiments (42.8%) | 24.2/s | ETA 19s | Correct 200 Crash 31 Hang 11"
+	if got != want {
+		t.Errorf("status line:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+func TestStatusLineEmpty(t *testing.T) {
+	if got := StatusLine(New().Snapshot(), time.Second); got != "0 experiments" {
+		t.Errorf("empty status line = %q", got)
+	}
+}

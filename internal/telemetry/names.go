@@ -1,0 +1,68 @@
+package telemetry
+
+import "strconv"
+
+// Canonical metric names.  They live here rather than at the
+// instrumentation sites because several are read back by other layers:
+// the status line and the CI snapshot artifact consume what core and
+// cluster record.
+const (
+	// Campaign progress (internal/core).
+	MetricExperimentsPlanned  = "mpifault_experiments_planned_total"
+	MetricExperimentsResumed  = "mpifault_experiments_resumed_total"
+	MetricExperimentsStarted  = "mpifault_experiments_started_total"
+	MetricExperimentsFinished = "mpifault_experiments_finished_total"
+	MetricExperimentsInflight = "mpifault_experiments_inflight"
+	MetricUnapplied           = "mpifault_experiments_unapplied_total"
+	MetricMessagesCorrupted   = "mpifault_messages_corrupted_total"
+
+	// Fault-forensics latency histograms (injection to manifestation,
+	// in retired instructions — the §5.2 axis).
+	MetricCrashLatency = "mpifault_crash_latency_instructions"
+	MetricHangLatency  = "mpifault_hang_latency_instructions"
+
+	// Job execution (internal/cluster, aggregated after each job so the
+	// interpreter hot path carries no telemetry).
+	MetricJobs            = "mpifault_jobs_total"
+	MetricInstrsRetired   = "mpifault_vm_instructions_retired_total"
+	MetricBudgetExhausted = "mpifault_vm_budget_exhausted_total"
+	MetricStallEvents     = "mpifault_cluster_stall_events_total"
+	MetricQueueDepthPeak  = "mpifault_mpi_queue_depth_peak"
+	MetricControlMsgs     = "mpifault_mpi_control_messages_total"
+	MetricDataMsgs        = "mpifault_mpi_data_messages_total"
+	MetricHeaderBytes     = "mpifault_mpi_header_bytes_total"
+	MetricPayloadBytes    = "mpifault_mpi_payload_bytes_total"
+
+	// §7 progress-metric detector (internal/progress).
+	MetricProgressRate          = "mpifault_progress_rate"
+	MetricProgressBaseline      = "mpifault_progress_baseline"
+	MetricProgressStalledWins   = "mpifault_progress_stalled_windows"
+	MetricProgressStallVerdicts = "mpifault_progress_stall_verdicts_total"
+)
+
+// outcomeMetricPrefix prefixes the per-outcome experiment counters; the
+// status line scans for it when rendering the outcome mix.
+const outcomeMetricPrefix = "mpifault_experiments_outcome_total{outcome="
+
+// OutcomeMetric names the counter of experiments that manifested as the
+// given classification (e.g. "Crash").
+func OutcomeMetric(outcome string) string {
+	return outcomeMetricPrefix + strconv.Quote(outcome) + "}"
+}
+
+// TrapMetric names the counter of VM traps of the given kind (e.g.
+// "SIGSEGV").
+func TrapMetric(kind string) string {
+	return "mpifault_vm_traps_total{signal=" + strconv.Quote(kind) + "}"
+}
+
+// HangMetric names the counter of jobs hung for the given detector cause.
+func HangMetric(cause string) string {
+	return "mpifault_cluster_hangs_total{cause=" + strconv.Quote(cause) + "}"
+}
+
+// LatencyBuckets is the fixed bucket layout of the crash/hang-latency
+// histograms: decade buckets over the instruction axis, chosen so the
+// paper's "most crashes occur within a few thousand instructions"
+// (§5.2) claim is directly readable off the first three buckets.
+var LatencyBuckets = []uint64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}

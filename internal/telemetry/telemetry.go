@@ -1,0 +1,226 @@
+// Package telemetry is the campaign observability layer: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms) with Prometheus-text and JSON exposition.
+//
+// The paper reasons about *how* faults propagate — crash latencies
+// (§5.2), working sets (§6.1.2), progress metrics (§7) — so a campaign
+// that only emits final CSV rows cannot explain a surprising rate
+// without being re-run under ad-hoc printf.  This package gives the
+// subsystems a place to record what happened as it happens, while
+// keeping the fault-injection semantics untouched: every hook is
+// nil/disabled by default, and a nil *Registry is fully usable (its
+// methods return live but unregistered metrics), so instrumentation
+// sites need no conditionals and a campaign without telemetry runs the
+// exact same code path as before.
+//
+// All metric operations are lock-free atomics; the registry lock is
+// taken only on metric creation and snapshotting.  Everything is safe
+// for concurrent use.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark (e.g. peak queue depth) updated from many goroutines.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets.  Bounds are
+// inclusive upper limits in ascending order; observations above the last
+// bound land in an implicit +Inf bucket.  The zero bucket layout is
+// fixed at creation, so Observe is a binary search plus three atomic
+// adds — cheap enough for per-experiment recording.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomic.Uint64
+	n      atomic.Uint64
+}
+
+// NewHistogram builds an unregistered histogram with the given bounds
+// (ascending inclusive upper limits).  Most callers want
+// Registry.Histogram instead; this constructor exists for single-shot
+// aggregation such as faultmerge's latency summary.
+func NewHistogram(bounds []uint64) *Histogram {
+	h := &Histogram{
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	idx := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[idx].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Snapshot returns a consistent-enough copy for rendering.  (Individual
+// bucket loads are atomic; a snapshot taken mid-Observe may be off by
+// the observation in flight, which is fine for monitoring.)
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is the rendered form of a histogram.
+type HistogramSnapshot struct {
+	Bounds []uint64 `json:"bounds"` // inclusive upper limits; implicit +Inf after the last
+	Counts []uint64 `json:"counts"` // per-bucket (not cumulative), len(Bounds)+1
+	Sum    uint64   `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a whole registry, the unit both
+// exposition formats and the status line render from.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Registry holds named metrics.  The nil *Registry is valid: lookups
+// return live, unregistered metrics, so disabled telemetry needs no
+// branches at instrumentation sites.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bounds on first use.  Later calls return the existing
+// histogram regardless of bounds.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot copies every registered metric.  Safe on a nil registry
+// (returns empty maps).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}

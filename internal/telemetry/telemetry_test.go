@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHammering drives every metric kind from many goroutines
+// at once; under -race this proves the registry and the metric
+// operations are safe for the campaign's worker pool.
+func TestConcurrentHammering(t *testing.T) {
+	reg := New()
+	const (
+		goroutines = 16
+		iterations = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				// Lookups race with each other and with operations on
+				// the shared metrics.
+				reg.Counter("shared_total").Inc()
+				reg.Counter(fmt.Sprintf("per_goroutine_total_%d", g%4)).Add(2)
+				reg.Gauge("depth").Set(int64(i))
+				reg.Gauge("peak").SetMax(int64(i))
+				reg.Histogram("lat", LatencyBuckets).Observe(uint64(i))
+				if i%64 == 0 {
+					reg.Snapshot() // snapshots race with writers
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := reg.Snapshot()
+	if got := s.Counters["shared_total"]; got != goroutines*iterations {
+		t.Errorf("shared counter = %d, want %d", got, goroutines*iterations)
+	}
+	var per uint64
+	for i := 0; i < 4; i++ {
+		per += s.Counters[fmt.Sprintf("per_goroutine_total_%d", i)]
+	}
+	if want := uint64(goroutines * iterations * 2); per != want {
+		t.Errorf("per-goroutine counters sum = %d, want %d", per, want)
+	}
+	if got := s.Gauges["peak"]; got != iterations-1 {
+		t.Errorf("SetMax high-water = %d, want %d", got, iterations-1)
+	}
+	h := s.Histograms["lat"]
+	if h.Count != goroutines*iterations {
+		t.Errorf("histogram count = %d, want %d", h.Count, goroutines*iterations)
+	}
+	var buckets uint64
+	for _, c := range h.Counts {
+		buckets += c
+	}
+	if buckets != h.Count {
+		t.Errorf("bucket sum %d != count %d", buckets, h.Count)
+	}
+}
+
+// TestNilRegistryIsUsable is the load-bearing property of the whole
+// package: disabled telemetry must need no branches at instrumentation
+// sites.
+func TestNilRegistryIsUsable(t *testing.T) {
+	var reg *Registry
+	reg.Counter("a").Inc()
+	reg.Gauge("b").Set(7)
+	reg.Histogram("c", LatencyBuckets).Observe(42)
+	s := reg.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100})
+	for _, v := range []uint64{0, 10, 11, 100, 101, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Bounds are inclusive upper limits: {0,10} | {11,100} | {101,2^40}.
+	want := []uint64{2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if wantSum := uint64(0 + 10 + 11 + 100 + 101 + 1<<40); s.Sum != wantSum {
+		t.Errorf("sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	reg := New()
+	c := reg.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if reg.Counter("x") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	g := reg.Gauge("y")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+	g.SetMax(5) // below current: no change
+	if g.Value() != 7 {
+		t.Errorf("SetMax lowered the gauge to %d", g.Value())
+	}
+}

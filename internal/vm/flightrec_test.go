@@ -1,0 +1,124 @@
+package vm
+
+import (
+	"testing"
+
+	"mpifault/internal/asm"
+	"mpifault/internal/isa"
+)
+
+// pcsEqual compares PC slices without reflect.DeepEqual: pulling the
+// reflect package into this test binary makes the linker retain method
+// metadata it otherwise drops, which shifts hot-loop code placement and
+// costs BenchmarkStep ~15% — tripping the CI overhead gate on code that
+// never changed.
+func pcsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFlightRecorderEmpty(t *testing.T) {
+	f := NewFlightRecorder(8)
+	if f.Seen() != 0 {
+		t.Errorf("fresh recorder Seen() = %d", f.Seen())
+	}
+	if pcs := f.LastPCs(); len(pcs) != 0 {
+		t.Errorf("fresh recorder LastPCs() = %v, want empty", pcs)
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	f := NewFlightRecorder(8)
+	for pc := uint32(100); pc < 103; pc++ {
+		f.Exec(pc)
+	}
+	if got, want := f.LastPCs(), []uint32{100, 101, 102}; !pcsEqual(got, want) {
+		t.Errorf("LastPCs() = %v, want %v", got, want)
+	}
+	if f.Seen() != 3 {
+		t.Errorf("Seen() = %d, want 3", f.Seen())
+	}
+}
+
+func TestFlightRecorderExactFill(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for pc := uint32(1); pc <= 4; pc++ {
+		f.Exec(pc)
+	}
+	if got, want := f.LastPCs(), []uint32{1, 2, 3, 4}; !pcsEqual(got, want) {
+		t.Errorf("LastPCs() = %v, want %v", got, want)
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for pc := uint32(1); pc <= 10; pc++ {
+		f.Exec(pc)
+	}
+	// Only the last 4 of 10 survive, oldest first.
+	if got, want := f.LastPCs(), []uint32{7, 8, 9, 10}; !pcsEqual(got, want) {
+		t.Errorf("LastPCs() = %v, want %v", got, want)
+	}
+	if f.Seen() != 10 {
+		t.Errorf("Seen() = %d, want 10", f.Seen())
+	}
+}
+
+func TestFlightRecorderDefaultDepth(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		f := NewFlightRecorder(n)
+		for pc := uint32(0); pc < 200; pc++ {
+			f.Exec(pc)
+		}
+		if got := len(f.LastPCs()); got != 64 {
+			t.Errorf("NewFlightRecorder(%d) depth = %d, want default 64", n, got)
+		}
+	}
+}
+
+// TestFlightRecorderObservesMachine runs a real machine with the
+// recorder attached and checks the ring against the machine's own
+// retired-instruction count.
+func TestFlightRecorderObservesMachine(t *testing.T) {
+	im := assemble(t, func(_ *asm.Module, f *asm.Func) {
+		f.Movi(isa.R1, 40)
+		f.Movi(isa.R2, 2)
+		f.Add(isa.R3, isa.R1, isa.R2)
+	})
+	m := New(im)
+	m.Handler = &testHandler{}
+	f := NewFlightRecorder(4)
+	m.Tracer = f
+	res := m.Run(1_000_000)
+	if res.Reason != StopTrap || res.Trap.Kind != TrapExit {
+		t.Fatalf("run did not exit cleanly: %+v", res)
+	}
+	if f.Seen() == 0 {
+		t.Fatal("recorder saw no instructions")
+	}
+	if f.Seen() != m.Instrs {
+		t.Errorf("recorder saw %d instructions, machine retired %d", f.Seen(), m.Instrs)
+	}
+	pcs := f.LastPCs()
+	if len(pcs) != 4 {
+		t.Fatalf("LastPCs() len = %d, want 4", len(pcs))
+	}
+	// The newest entry is the fetched PC of the trapping SysExit; the
+	// machine's PC has already advanced past it.  Entries must be
+	// InstrBytes apart in this straight-line program.
+	if pcs[3]+isa.InstrBytes != m.PC {
+		t.Errorf("newest recorded PC = %#x, machine stopped past %#x", pcs[3], m.PC)
+	}
+	for i := 1; i < len(pcs); i++ {
+		if pcs[i] != pcs[i-1]+isa.InstrBytes {
+			t.Errorf("recorded PCs not consecutive: %#x after %#x", pcs[i], pcs[i-1])
+		}
+	}
+}

@@ -7,10 +7,18 @@
 //	go test -run '^$' -bench . -benchtime 1x ./internal/vm | \
 //	    go run ./scripts/benchcmp -ref BENCH_vm.json -threshold 25
 //
-// It exits 1 when any benchmark regressed past the threshold (CI runs
-// it as a non-blocking step, so a regression warns without failing the
-// pipeline) and 0 otherwise.  Benchmarks present on only one side are
-// reported but never fail the check.
+// It exits 1 when any benchmark regressed past the threshold and 0
+// otherwise.  Benchmarks present on only one side are reported but
+// never fail the check.
+//
+// When the input contains several timings for one benchmark (go test
+// -count=N), the minimum is kept: the fastest run is the least
+// disturbed by scheduler noise, which is what makes a tight threshold
+// usable as a blocking gate — CI runs this at 2% over -count=5 to
+// verify that disabled telemetry adds no interpreter overhead.  A
+// reference entry may widen its own gate with "gate_pct" (see the
+// reference struct below) for benchmarks whose ns/op is too small for
+// a 2% band to clear code-layout jitter.
 package main
 
 import (
@@ -29,6 +37,14 @@ type reference struct {
 		After struct {
 			Time float64 `json:"time"`
 		} `json:"after"`
+		// GatePct, when non-zero, overrides the -threshold flag for
+		// this benchmark.  Sub-microsecond setup benchmarks like
+		// BenchmarkMachineNew swing several percent from code layout
+		// alone whenever any package in the test binary changes, so
+		// they carry a wider gate than the interpreter hot loop; the
+		// regressions they exist to catch (reintroduced per-experiment
+		// setup bloat) are orders of magnitude, not single digits.
+		GatePct float64 `json:"gate_pct"`
 	} `json:"benchmarks"`
 }
 
@@ -52,7 +68,10 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		name, nsPerOp, ok := parseBenchLine(sc.Text())
-		if ok {
+		if !ok {
+			continue
+		}
+		if old, seen := measured[name]; !seen || nsPerOp < old {
 			measured[name] = nsPerOp
 		}
 	}
@@ -70,14 +89,18 @@ func main() {
 			}
 			continue
 		}
+		gate := *threshold
+		if entry.GatePct > 0 {
+			gate = entry.GatePct
+		}
 		deltaPct := 100 * (got - want) / want
 		status := "ok"
-		if deltaPct > *threshold {
+		if deltaPct > gate {
 			status = "REGRESSION"
 			regressed++
 		}
-		fmt.Printf("benchcmp: %-22s ref %.4g ns/op, now %.4g ns/op (%+.1f%%) %s\n",
-			name, want, got, deltaPct, status)
+		fmt.Printf("benchcmp: %-22s ref %.4g ns/op, now %.4g ns/op (%+.1f%%, gate %.0f%%) %s\n",
+			name, want, got, deltaPct, gate, status)
 	}
 	for name := range measured {
 		if _, ok := ref.Benchmarks[name]; !ok {
@@ -85,7 +108,7 @@ func main() {
 		}
 	}
 	if regressed > 0 {
-		log.Fatalf("%d benchmark(s) regressed more than %.0f%% vs %s", regressed, *threshold, *refPath)
+		log.Fatalf("%d benchmark(s) regressed past their gate vs %s", regressed, *refPath)
 	}
 }
 
