@@ -116,6 +116,36 @@ func BenchmarkCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignScratch / BenchmarkCampaignCheckpointed measure the
+// golden-run checkpointing optimization: the identical fixed-seed
+// campaign with every experiment started from t=0 versus from the latest
+// checkpoint preceding its injection trigger.  The tallies are
+// bit-identical (the differential test asserts it on the artifacts);
+// only the wall clock and the per-experiment allocations may differ.
+// BENCH_campaign.json records the before/after pair.
+func benchCampaignCheckpointing(b *testing.B, interval uint64) {
+	im, cfg := builtApp(b, "wavetoy")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.Config{
+			Image: im, Ranks: cfg.Ranks,
+			Injections: 6, Seed: 7,
+			CheckpointInterval: interval,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := res.Checkpoints; st != nil && !st.Fallback {
+			b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "ckpt-hit-ratio")
+		}
+	}
+}
+
+func BenchmarkCampaignScratch(b *testing.B) { benchCampaignCheckpointing(b, 0) }
+func BenchmarkCampaignCheckpointed(b *testing.B) {
+	benchCampaignCheckpointing(b, core.DefaultCheckpointInterval)
+}
+
 func BenchmarkTable2Wavetoy(b *testing.B) { benchCampaign(b, "wavetoy", 4) }
 func BenchmarkTable3NAMD(b *testing.B)    { benchCampaign(b, "minimd", 4) }
 func BenchmarkTable4CAM(b *testing.B)     { benchCampaign(b, "minicam", 4) }

@@ -10,6 +10,7 @@
 //	              [-liveness live|dead] [-predict]
 //	              [-metrics-addr :9090] [-metrics-out snapshot.json]
 //	              [-status 2s] [-forensics]
+//	              [-checkpoint-interval 12500] [-checkpoints 32]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // -metrics-addr serves live campaign telemetry over HTTP while the
@@ -24,6 +25,16 @@
 // are off by default, in which case the campaign runs the exact same
 // code path — and produces byte-identical output — as before they
 // existed.
+//
+// Golden-run checkpointing is on by default: the golden run emits a
+// consistent cluster snapshot roughly every -checkpoint-interval retired
+// instructions (at most -checkpoints of them), and each experiment
+// starts from the latest snapshot preceding its injection trigger
+// instead of from t=0.  A fixed-seed campaign produces byte-identical
+// tables, CSV and journals with checkpointing on or off — it is purely
+// a wall-clock optimization.  -checkpoint-interval 0 disables it;
+// -forensics also disables it, because a flight record must cover the
+// instructions leading up to the injection.
 //
 // -shard i/K runs only shard i of the K-way partition of the campaign
 // plan.  Because every experiment's random stream is derived from
@@ -96,9 +107,23 @@ func run() int {
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
 	forensics := flag.Bool("forensics", false, "record per-experiment fault forensics (last executed PCs, trap detail, manifestation latency) into the journal")
 	statusEvery := flag.Duration("status", 0, "print a one-line campaign status to stderr at this interval (e.g. 2s; 0 = off)")
+	ckptInterval := flag.Uint64("checkpoint-interval", core.DefaultCheckpointInterval, "golden-run instructions between cluster checkpoints; experiments start from the latest checkpoint before their trigger (0 = always start from t=0)")
+	ckptMax := flag.Int("checkpoints", 0, "maximum checkpoints per campaign (0 = default)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcampaign: ")
+
+	if *forensics && *ckptInterval > 0 {
+		ckptFlagSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "checkpoint-interval" || f.Name == "checkpoints" {
+				ckptFlagSet = true
+			}
+		})
+		if ckptFlagSet {
+			log.Print("-forensics disables checkpointing (flight records must cover the pre-injection prefix)")
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -267,6 +292,12 @@ func run() int {
 			Stop:        stop,
 			Metrics:     metrics,
 			Forensics:   *forensics,
+
+			CheckpointInterval: *ckptInterval,
+			MaxCheckpoints:     *ckptMax,
+		}
+		if *ckptInterval == 0 {
+			cfg.MaxCheckpoints = 0 // -checkpoint-interval 0 means fully off
 		}
 		var prog *analysis.Program
 		var live *analysis.Liveness
@@ -333,6 +364,14 @@ func run() int {
 			return 1
 		}
 		unclassified += res.Unclassified
+		if st := res.Checkpoints; st != nil && !*quiet {
+			if st.Fallback {
+				fmt.Fprintf(os.Stderr, "%s: checkpointing fell back to scratch starts (run too short or capture pass diverged)\n", name)
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: %d checkpoints; %d/%d experiments restored mid-run, %.1fM golden-prefix instructions skipped\n",
+					name, st.Taken, st.Hits, st.Hits+st.Misses, float64(st.InstrsSkipped)/1e6)
+			}
+		}
 		if res.Interrupted {
 			done := 0
 			for _, t := range res.Tallies {

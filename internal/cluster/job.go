@@ -60,6 +60,20 @@ type Job struct {
 	// interpreter hot path is unchanged and a nil Metrics job is
 	// byte-identical to one from before this field existed.
 	Metrics *telemetry.Registry
+	// Causality, when non-nil, records Channel-level message events for
+	// consistent-cut computation (golden recording runs only; requires
+	// the in-process transport).
+	Causality *mpi.CausalityRecorder
+	// Checkpoints, when non-nil, makes the job pause at the given
+	// consistent cuts and emit cluster snapshots (see checkpoint.go).
+	// Requires the in-process transport; ignored with UseTCPTransport.
+	Checkpoints *CheckpointSpec
+	// Restore, when non-nil, starts the job from a cluster snapshot
+	// instead of t=0: every live rank resumes mid-stream, exited ranks
+	// carry their terminal results, and the snapshot's in-flight packets
+	// are requeued.  The snapshot is shared read-only; any number of
+	// concurrent jobs may restore from one.
+	Restore *Snapshot
 }
 
 // RankResult is the terminal state of one rank.
@@ -132,7 +146,19 @@ func Run(job Job) *Result {
 	if job.WallLimit == 0 {
 		job.WallLimit = 30 * time.Second
 	}
-	world := mpi.NewWorld(job.Size, job.MPIConfig)
+	mpiCfg := job.MPIConfig
+	if job.Restore != nil {
+		// Room to requeue the snapshot's in-flight packets on top of
+		// whatever the resumed execution itself enqueues.
+		mpiCfg = mpiCfg.WithQueueHeadroom(job.Restore.MaxQueued())
+	}
+	world := mpi.NewWorld(job.Size, mpiCfg)
+	if job.Causality != nil {
+		world.SetRecorder(job.Causality)
+	}
+	if job.Restore != nil {
+		world.SetCtxCounter(job.Restore.CtxCounter)
+	}
 	if job.PMPIHook != nil {
 		world.SetPMPIHook(job.PMPIHook)
 	}
@@ -164,6 +190,12 @@ func Run(job Job) *Result {
 		Files:  make(map[string][]byte),
 	}
 	files := &fileStore{files: res.Files}
+	if job.Restore != nil {
+		for name, b := range job.Restore.Files {
+			res.Files[name] = append([]byte(nil), b...)
+		}
+		files.names = append([]string(nil), job.Restore.FileNames...)
+	}
 
 	// stopFlag halts still-computing VMs after a job-level verdict (the
 	// analogue of mpirun SIGKILLing survivors).
@@ -176,9 +208,28 @@ func Run(job Job) *Result {
 	machines := make([]*vm.Machine, job.Size)
 	ios := make([]*rankIO, job.Size)
 	for r := 0; r < job.Size; r++ {
-		m := vm.New(job.Image)
-		m.Stop = &stopFlag
+		if job.Restore != nil && job.Restore.Ranks[r].Finished {
+			// This rank had already exited at the checkpoint: carry its
+			// terminal state over verbatim; no goroutine runs for it.
+			rs := &job.Restore.Ranks[r]
+			res.Ranks[r] = rs.Result
+			res.Stdout[r] = append([]byte(nil), rs.Stdout...)
+			res.Stderr[r] = append([]byte(nil), rs.Stderr...)
+			world.Proc(r).MarkFinished()
+			continue
+		}
+		var m *vm.Machine
 		io := &rankIO{proc: world.Proc(r), files: files}
+		if job.Restore != nil {
+			rs := &job.Restore.Ranks[r]
+			m = rs.VM.NewMachine()
+			world.Proc(r).Restore(rs.MPI)
+			io.stdout = append([]byte(nil), rs.Stdout...)
+			io.stderr = append([]byte(nil), rs.Stderr...)
+		} else {
+			m = vm.New(job.Image)
+		}
+		m.Stop = &stopFlag
 		m.Handler = io
 		if job.Tracer != nil && r == job.TraceRank {
 			m.Tracer = job.Tracer
@@ -188,6 +239,20 @@ func Run(job Job) *Result {
 		}
 		machines[r] = m
 		ios[r] = io
+	}
+	if job.Restore != nil {
+		// Requeue the snapshot's in-flight packets (deep-copied; see
+		// mpi.Prefill) after every rank's runtime state is rebuilt.
+		for r := 0; r < job.Size; r++ {
+			world.Prefill(r, job.Restore.Queues[r])
+		}
+	}
+
+	var coord *ckptRun
+	if job.Checkpoints != nil && len(job.Checkpoints.Vectors) > 0 &&
+		job.Restore == nil && !job.UseTCPTransport {
+		coord = newCkptRun(job.Checkpoints, world, machines, ios, files,
+			job.Image.HeapBase, job.Budget)
 	}
 
 	var (
@@ -204,11 +269,19 @@ func Run(job Job) *Result {
 	}
 
 	for r := 0; r < job.Size; r++ {
+		if machines[r] == nil {
+			continue // restored-as-finished rank
+		}
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			m := machines[r]
-			out := m.Run(job.Budget)
+			var out vm.RunResult
+			if coord != nil {
+				out = coord.runRank(r)
+			} else {
+				out = m.Run(job.Budget)
+			}
 			world.Proc(r).MarkFinished()
 			res.Ranks[r].Reason = out.Reason
 			res.Ranks[r].Trap = out.Trap
@@ -299,6 +372,9 @@ func Run(job Job) *Result {
 
 	for r := 0; r < job.Size; r++ {
 		m := machines[r]
+		if m == nil {
+			continue // restored-as-finished rank: results carried above
+		}
 		res.Ranks[r].Instrs = m.Instrs
 		res.Ranks[r].MinSP = m.MinSP
 		res.Ranks[r].HeapPeakUser = m.Heap.PeakUser

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpifault/internal/classify"
@@ -39,8 +41,16 @@ func (g *Golden) MaxInstrs() uint64 {
 
 // RunGolden executes the fault-free reference run.
 func RunGolden(im *image.Image, ranks int, mpiCfg mpi.Config, wall time.Duration) (*Golden, error) {
+	return runGolden(im, ranks, mpiCfg, wall, nil)
+}
+
+// runGolden is RunGolden with an optional causality recorder attached —
+// the checkpointing campaign records message events during the reference
+// run to compute consistent cuts from.
+func runGolden(im *image.Image, ranks int, mpiCfg mpi.Config, wall time.Duration, rec *mpi.CausalityRecorder) (*Golden, error) {
 	res := cluster.Run(cluster.Job{
 		Image: im, Size: ranks, MPIConfig: mpiCfg, WallLimit: wall,
+		Causality: rec,
 	})
 	if res.HangDetected {
 		return nil, fmt.Errorf("core: golden run hung: %s", res.HangCause)
@@ -83,11 +93,12 @@ func (e *Experiment) ID() string {
 
 // Unapplied reports whether the experiment finished without actually
 // injecting a fault: the region had no eligible target ("no target",
-// "no traffic") or the trigger never fired.  Such experiments carry no
-// classifiable manifestation, so campaigns surface their count and CI
-// gates on it.
+// "no traffic", "no execution") or the trigger never fired.  Such
+// experiments carry no classifiable manifestation, so campaigns surface
+// their count and CI gates on it.
 func (e *Experiment) Unapplied() bool {
-	return e.Desc == "" || e.Desc == "no target" || e.Desc == "no traffic"
+	return e.Desc == "" || e.Desc == "no target" || e.Desc == "no traffic" ||
+		e.Desc == "no execution"
 }
 
 // Config parameterizes an injection campaign for one application image.
@@ -134,8 +145,13 @@ type Config struct {
 	Completed map[string]Experiment
 	// OnExperiment, when non-nil, is called once for each newly finished
 	// experiment (never for Completed ones).  Calls are serialized, so a
-	// journal append needs no extra locking; completion order across
-	// workers is nondeterministic.
+	// journal append needs no extra locking, and are delivered in *plan
+	// order* — an experiment finishing out of order is held until its
+	// predecessors are delivered — so a fixed-seed campaign journal is
+	// byte-identical regardless of parallelism, dispatch order or
+	// checkpointing.  On interruption, finished experiments past the
+	// first unfinished entry are flushed, still in plan order, before
+	// Run returns.
 	OnExperiment func(Experiment)
 	// Stop, when non-nil and closed, stops dispatching new experiments;
 	// in-flight ones finish (and still reach OnExperiment).  The Result
@@ -153,7 +169,20 @@ type Config struct {
 	// PCs, the trap detail, and the injection-to-manifestation
 	// instruction distance (§5.2's crash latency).  Off by default; it
 	// observes without perturbing, so outcomes are unchanged.
+	// Forensics disables checkpointing: a flight record must cover the
+	// instructions leading up to the injection, which a restored
+	// experiment would have skipped.
 	Forensics bool
+	// CheckpointInterval, when nonzero, enables golden-run
+	// checkpointing: the golden run emits a consistent cluster snapshot
+	// roughly every CheckpointInterval retired instructions, and each
+	// experiment starts from the latest snapshot preceding its injection
+	// epoch instead of t=0 (see checkpoint.go).  Fixed-seed outcomes,
+	// CSV and journal are byte-identical with checkpointing on or off.
+	CheckpointInterval uint64
+	// MaxCheckpoints caps how many checkpoints are captured; 0 means
+	// DefaultMaxCheckpoints when checkpointing is enabled.
+	MaxCheckpoints int
 }
 
 // Tally aggregates outcomes for one region.
@@ -201,6 +230,9 @@ type Result struct {
 	// Interrupted is set when Stop fired before the plan was exhausted;
 	// tallies then cover only the experiments that finished.
 	Interrupted bool
+	// Checkpoints summarizes golden-run checkpoint usage; nil when
+	// checkpointing was not enabled.
+	Checkpoints *CheckpointStats
 }
 
 // Tally returns the tally for a region, if present.
@@ -271,7 +303,24 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: shard %d/%d out of range", cfg.Shard, cfg.NumShards)
 	}
 
-	golden, err := RunGolden(cfg.Image, cfg.Ranks, cfg.MPIConfig, cfg.WallLimit)
+	ckptOn := cfg.CheckpointInterval > 0 || cfg.MaxCheckpoints > 0
+	if cfg.Forensics {
+		ckptOn = false // flight records must cover the whole prefix
+	}
+	if ckptOn {
+		if cfg.CheckpointInterval == 0 {
+			cfg.CheckpointInterval = DefaultCheckpointInterval
+		}
+		if cfg.MaxCheckpoints <= 0 {
+			cfg.MaxCheckpoints = DefaultMaxCheckpoints
+		}
+	}
+
+	var rec *mpi.CausalityRecorder
+	if ckptOn {
+		rec = mpi.NewCausalityRecorder()
+	}
+	golden, err := runGolden(cfg.Image, cfg.Ranks, cfg.MPIConfig, cfg.WallLimit, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -282,6 +331,19 @@ func Run(cfg Config) (*Result, error) {
 	entries := plan.Shard(cfg.Shard, cfg.NumShards)
 	met := newCampaignMeters(cfg.Metrics)
 	met.planned.Add(uint64(len(entries)))
+
+	cctx := &campaignCtx{cfg: &cfg, golden: golden, dict: dict, budget: budget, met: met}
+	if ckptOn {
+		cctx.stats = &CheckpointStats{}
+		cctx.ckpts = buildCheckpoints(&cfg, golden, rec.Events())
+		cctx.stats.Taken = cctx.ckpts.Len()
+		met.ckptTaken.Add(uint64(cctx.ckpts.Len()))
+		if cctx.ckpts.Len() == 0 {
+			cctx.stats.Fallback = true
+			cctx.ckpts = nil
+			met.ckptFallbacks.Inc()
+		}
+	}
 
 	experiments := make([]Experiment, len(entries))
 	finished := make([]bool, len(entries))
@@ -298,14 +360,44 @@ func Run(cfg Config) (*Result, error) {
 	}
 	met.resumed.Add(uint64(len(entries) - len(todo)))
 
-	var (
-		wg    sync.WaitGroup
-		next  = make(chan int)
-		done  int
-		mu    sync.Mutex
-		total = len(todo)
-	)
 	base := rng.New(cfg.Seed)
+	cctx.base = base
+
+	// planOrder is the journal-delivery order (the plan's own order, the
+	// same one a serial campaign would produce).  Dispatch order is free
+	// to differ: with checkpoints available, experiments are grouped by
+	// the checkpoint they restore from, so concurrent jobs share one
+	// snapshot's backing pages and the residual prefixes they replay.
+	planOrder := append([]int(nil), todo...)
+	if cctx.ckpts.Len() > 0 {
+		bucket := make(map[int]int, len(todo))
+		for _, idx := range todo {
+			bucket[idx] = cctx.bucketOf(&experiments[idx])
+		}
+		sort.SliceStable(todo, func(i, j int) bool {
+			return bucket[todo[i]] < bucket[todo[j]]
+		})
+	}
+
+	var (
+		wg          sync.WaitGroup
+		next        = make(chan int)
+		done        int
+		mu          sync.Mutex
+		total       = len(todo)
+		deliverNext int
+	)
+	// deliverLocked hands finished experiments to OnExperiment in plan
+	// order; called with mu held.
+	deliverLocked := func() {
+		for deliverNext < len(planOrder) && finished[planOrder[deliverNext]] {
+			if cfg.OnExperiment != nil {
+				cfg.OnExperiment(experiments[planOrder[deliverNext]])
+			}
+			deliverNext++
+		}
+	}
+	scratch := sync.Pool{New: func() any { return &expScratch{} }}
 	for w := 0; w < cfg.Parallelism; w++ {
 		wg.Add(1)
 		go func() {
@@ -314,17 +406,17 @@ func Run(cfg Config) (*Result, error) {
 				e := &experiments[idx]
 				met.started.Inc()
 				met.inflight.Add(1)
-				runOne(cfg, golden, dict, budget, e,
-					base.Derive(uint64(e.Region), uint64(e.Index)))
+				sc := scratch.Get().(*expScratch)
+				base.DeriveInto(&sc.r, uint64(e.Region), uint64(e.Index))
+				runOne(cctx, e, sc)
+				scratch.Put(sc)
 				met.inflight.Add(-1)
 				met.observe(e)
 				mu.Lock()
 				finished[idx] = true
 				done++
 				d := done
-				if cfg.OnExperiment != nil {
-					cfg.OnExperiment(*e)
-				}
+				deliverLocked()
 				mu.Unlock()
 				if cfg.Progress != nil {
 					cfg.Progress(d, total)
@@ -352,6 +444,21 @@ dispatch:
 	}
 	close(next)
 	wg.Wait()
+	// Flush finished-but-undelivered experiments (an interrupt leaves
+	// gaps in the plan): still plan order, unfinished entries skipped.
+	if cfg.OnExperiment != nil {
+		for ; deliverNext < len(planOrder); deliverNext++ {
+			if finished[planOrder[deliverNext]] {
+				cfg.OnExperiment(experiments[planOrder[deliverNext]])
+			}
+		}
+	}
+	if cctx.stats != nil {
+		cctx.stats.Hits = cctx.hits.Load()
+		cctx.stats.Misses = cctx.misses.Load()
+		cctx.stats.InstrsSkipped = cctx.skipped.Load()
+		res.Checkpoints = cctx.stats
+	}
 
 	ran := experiments
 	if res.Interrupted {
@@ -382,8 +489,70 @@ dispatch:
 	return res, nil
 }
 
+// campaignCtx bundles the per-campaign immutable state the workers share,
+// plus the checkpoint-usage counters.
+type campaignCtx struct {
+	cfg    *Config
+	golden *Golden
+	dict   *Dictionary
+	budget uint64
+	base   *rng.Rand
+	ckpts  *CheckpointSet
+	met    *campaignMeters
+	stats  *CheckpointStats
+
+	// Local (per-campaign) counters: the telemetry registry may be shared
+	// across campaigns, so Result.Checkpoints cannot be read back from it.
+	hits, misses, skipped atomic.Uint64
+}
+
+// expScratch is the pooled per-experiment scratch: the experiment and
+// fault RNG streams (re-seeded in place) and the forensics flight
+// recorder (ring reset, storage kept).
+type expScratch struct {
+	r, faultRng rng.Rand
+	rec         *vm.FlightRecorder
+}
+
+// bucketOf peeks at the checkpoint an experiment will restore from
+// without perturbing its random stream (Derive is pure), for grouping
+// the dispatch order.  -1 means a scratch start.
+func (c *campaignCtx) bucketOf(e *Experiment) int {
+	var r rng.Rand
+	c.base.DeriveInto(&r, uint64(e.Region), uint64(e.Index))
+	rank := r.Intn(c.cfg.Ranks)
+	if e.Region == RegionMessage {
+		vol := c.golden.RecvBytes[rank]
+		if vol == 0 {
+			return -1
+		}
+		return c.ckpts.indexForRecv(rank, r.Uint64n(vol))
+	}
+	if c.golden.Instrs[rank] == 0 {
+		return -1
+	}
+	return c.ckpts.indexForInstr(rank, 1+r.Uint64n(c.golden.Instrs[rank]))
+}
+
+// restoreFrom points the job at checkpoint k and accounts for the hit.
+func (c *campaignCtx) restoreFrom(job *cluster.Job, k int) *cluster.Snapshot {
+	snap := c.ckpts.snaps[k]
+	job.Restore = snap
+	c.hits.Add(1)
+	c.skipped.Add(c.ckpts.skipped[k])
+	c.met.ckptHits.Inc()
+	c.met.instrsSkipped.Add(int64(c.ckpts.skipped[k]))
+	return snap
+}
+
+func (c *campaignCtx) checkpointMiss() {
+	c.misses.Add(1)
+	c.met.ckptMisses.Inc()
+}
+
 // runOne performs a single injection experiment.
-func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Experiment, r *rng.Rand) {
+func runOne(c *campaignCtx, e *Experiment, sc *expScratch) {
+	cfg, golden, r := c.cfg, c.golden, &sc.r
 	e.Rank = r.Intn(cfg.Ranks)
 
 	var (
@@ -396,7 +565,7 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 		Image:     cfg.Image,
 		Size:      cfg.Ranks,
 		MPIConfig: cfg.MPIConfig,
-		Budget:    budget,
+		Budget:    c.budget,
 		WallLimit: cfg.WallLimit,
 		Metrics:   cfg.Metrics,
 	}
@@ -405,7 +574,11 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 	// rank only; with forensics disabled the job runs hook-free.
 	var rec *vm.FlightRecorder
 	if cfg.Forensics {
-		rec = vm.NewFlightRecorder(forensicsDepth)
+		if sc.rec == nil {
+			sc.rec = vm.NewFlightRecorder(forensicsDepth)
+		}
+		sc.rec.Reset()
+		rec = sc.rec
 		job.Tracer = rec
 		job.TraceRank = e.Rank
 	}
@@ -419,17 +592,44 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 		}
 		e.Trigger = r.Uint64n(vol)
 		mi = &MessageInjector{TriggerByte: e.Trigger, Bit: uint(r.Intn(8))}
+		if c.ckpts != nil {
+			if k := c.ckpts.indexForRecv(e.Rank, e.Trigger); k >= 0 {
+				snap := c.restoreFrom(&job, k)
+				// The injector counts cumulative received bytes; start it
+				// at the snapshot's count so the trigger offset means the
+				// same byte it would in a scratch run.
+				mi.seen = snap.RankRecvBytes(e.Rank)
+			} else {
+				c.checkpointMiss()
+			}
+		}
 		job.Setup = func(rank int, m *vm.Machine, p *mpi.Proc) {
 			if rank == e.Rank {
 				p.RecvHook = mi.Hook
 			}
 		}
 	} else {
+		if golden.Instrs[e.Rank] == 0 {
+			// The rank retired no instructions in the golden run (possible
+			// for over-provisioned worlds): there is no execution to
+			// inject into, like the zero-traffic message case.
+			e.Outcome = classify.Correct
+			e.Desc = "no execution"
+			return
+		}
 		// Injection time: uniform over the target rank's execution, the
 		// t axis of the sampling space.
 		e.Trigger = 1 + r.Uint64n(golden.Instrs[e.Rank])
+		if c.ckpts != nil {
+			if k := c.ckpts.indexForInstr(e.Rank, e.Trigger); k >= 0 {
+				c.restoreFrom(&job, k)
+			} else {
+				c.checkpointMiss()
+			}
+		}
 		region := e.Region
-		faultRng := r.Split()
+		r.SplitInto(&sc.faultRng)
+		faultRng := &sc.faultRng
 		job.Setup = func(rank int, m *vm.Machine, p *mpi.Proc) {
 			if rank != e.Rank {
 				return
@@ -448,7 +648,7 @@ func runOne(cfg Config, golden *Golden, dict *Dictionary, budget uint64, e *Expe
 				case RegionFPReg:
 					d = ApplyFPRegisterFault(m, faultRng)
 				case RegionText, RegionData, RegionBSS:
-					d = ApplyStaticFault(m, dict, region, faultRng)
+					d = ApplyStaticFault(m, c.dict, region, faultRng)
 				case RegionHeap:
 					d = ApplyHeapFault(m, faultRng)
 				case RegionStack:

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+
+	"mpifault/internal/cluster"
+	"mpifault/internal/mpi"
+	"mpifault/internal/vm"
+)
+
+// Golden-run checkpointing (the Relyzer-style prefix-sharing optimization
+// cited in PAPERS.md): everything an experiment executes before its
+// trigger is, by construction, identical to the golden run, so the
+// campaign captures periodic consistent snapshots of the golden execution
+// and starts each experiment from the latest snapshot that precedes its
+// injection epoch, replaying only the residual prefix.
+//
+// The pipeline is two golden passes:
+//
+//  1. The ordinary golden run, with an mpi.CausalityRecorder attached,
+//     yields per-rank instruction counts and the send/receive
+//     instruction pairs of every Channel message.
+//  2. computeCuts turns the recorded causality into *consistent* cut
+//     vectors (no cut captures a receive whose matching send hasn't
+//     happened — Chandy/Lamport's condition, computed offline by a
+//     closure over the recorded events), and a second golden run pauses
+//     at each cut and snapshots the whole cluster (cluster.CheckpointSpec).
+//
+// The byte-identity invariant is enforced, not assumed: the second pass
+// must terminate cleanly with exactly the golden output and per-rank
+// instruction counts, otherwise the checkpoints are discarded and the
+// campaign silently falls back to scratch starts (counted in telemetry).
+// Restored experiments are indistinguishable from scratch runs to the
+// guest, so a fixed-seed campaign's CSV and journal are byte-identical
+// with checkpointing on or off.
+
+const (
+	// DefaultCheckpointInterval is the golden-run instruction spacing
+	// between cluster checkpoints (per cut index, before closure).  It is
+	// a floor: runs longer than MaxCheckpoints×interval get their cuts
+	// spread evenly instead of bunched at the start (see computeCuts).
+	DefaultCheckpointInterval = 12_500
+	// DefaultMaxCheckpoints caps the number of checkpoints per campaign;
+	// memory is bounded by checkpoints × touched pages (COW-shared).
+	DefaultMaxCheckpoints = 32
+	// checkpointQueueHeadroom enlarges Channel queues during the
+	// checkpoint-emitting pass so that senders never block on a parked
+	// receiver's full queue while the cluster quiesces at a cut.
+	checkpointQueueHeadroom = 1 << 15
+)
+
+// CheckpointStats summarizes checkpoint usage for one campaign.
+type CheckpointStats struct {
+	// Taken is the number of checkpoints captured from the golden run.
+	Taken int
+	// Fallback is set when checkpointing was requested but the capture
+	// pass failed validation and the campaign ran from scratch.
+	Fallback bool
+	// Hits and Misses count experiments started from a checkpoint vs
+	// from t=0.
+	Hits, Misses uint64
+	// InstrsSkipped totals the golden-prefix instructions (summed across
+	// all ranks) that restored experiments did not re-execute.
+	InstrsSkipped uint64
+}
+
+// CheckpointSet holds the captured golden-run checkpoints, ordered by
+// cut index (nondecreasing per-rank instruction counts).
+type CheckpointSet struct {
+	snaps []*cluster.Snapshot
+	// skipped[k] is snaps[k].TotalInstrs(): the work a restore from k skips.
+	skipped []uint64
+}
+
+// Len returns the number of checkpoints.
+func (cs *CheckpointSet) Len() int {
+	if cs == nil {
+		return 0
+	}
+	return len(cs.snaps)
+}
+
+// indexForInstr returns the latest checkpoint from which an experiment
+// injecting into rank at instruction-count trigger can start: the rank
+// must still be live and its retired count at the cut must not exceed
+// the trigger (equality is fine — the restored machine fires the trigger
+// before executing anything).  Returns -1 when no checkpoint qualifies.
+func (cs *CheckpointSet) indexForInstr(rank int, trigger uint64) int {
+	best := -1
+	for k, s := range cs.snaps {
+		if s.RankLive(rank) && s.RankInstrs(rank) <= trigger {
+			best = k
+		}
+	}
+	return best
+}
+
+// indexForRecv is indexForInstr for the message region: the clock is the
+// rank's cumulative received Channel bytes.
+func (cs *CheckpointSet) indexForRecv(rank int, triggerByte uint64) int {
+	best := -1
+	for k, s := range cs.snaps {
+		if s.RankLive(rank) && s.RankRecvBytes(rank) <= triggerByte {
+			best = k
+		}
+	}
+	return best
+}
+
+// computeCuts builds consistent cut vectors from the recorded golden-run
+// causality: cut k starts at k·interval for every rank and is closed
+// under the happens-before relation of the recorded messages (any
+// receive inside the cut pulls its sender's pause point up to the send).
+// Cuts are nondecreasing per rank; vacuous ones (no progress over the
+// previous cut) are dropped.
+func computeCuts(goldenInstrs []uint64, events []mpi.Event, interval uint64, maxCkpts int) [][]uint64 {
+	n := len(goldenInstrs)
+	if n == 0 || interval == 0 {
+		return nil
+	}
+	var maxInstrs uint64
+	for _, gi := range goldenInstrs {
+		if gi > maxInstrs {
+			maxInstrs = gi
+		}
+	}
+	// The interval is a floor: when the run is longer than maxCkpts
+	// evenly-spaced intervals, widen the spacing so the checkpoints cover
+	// the whole execution rather than only its first maxCkpts×interval
+	// instructions.
+	if maxCkpts > 0 {
+		if spread := maxInstrs / uint64(maxCkpts+1); spread > interval {
+			interval = spread
+		}
+	}
+	prev := make([]uint64, n)
+	var cuts [][]uint64
+	for k := uint64(1); maxCkpts <= 0 || len(cuts) < maxCkpts; k++ {
+		base := k * interval
+		if base >= maxInstrs {
+			break // at or past the longest rank's end: nothing left to skip
+		}
+		cut := make([]uint64, n)
+		progress := false
+		for r := 0; r < n; r++ {
+			cut[r] = base
+			if cut[r] < prev[r] {
+				cut[r] = prev[r]
+			}
+		}
+		closeCut(cut, events)
+		for r := 0; r < n; r++ {
+			if cut[r] > prev[r] && prev[r] < goldenInstrs[r] {
+				progress = true
+			}
+		}
+		if progress {
+			cuts = append(cuts, cut)
+		}
+		prev = cut
+	}
+	return cuts
+}
+
+// closeCut raises pause points until the cut is consistent: no event may
+// have its receive inside the cut and its send outside.
+func closeCut(cut []uint64, events []mpi.Event) {
+	for changed := true; changed; {
+		changed = false
+		for _, e := range events {
+			if e.DstInstr <= cut[e.Dst] && e.SrcInstr > cut[e.Src] {
+				cut[e.Src] = e.SrcInstr
+				changed = true
+			}
+		}
+	}
+}
+
+// buildCheckpoints runs the checkpoint-emitting golden pass and validates
+// it against the recorded golden run.  Any deviation — a hang, a
+// non-clean exit, a different output, different per-rank instruction or
+// byte counts — discards the checkpoints (fallback to scratch starts),
+// which is what makes the byte-identity invariant unconditional.
+func buildCheckpoints(cfg *Config, golden *Golden, events []mpi.Event) *CheckpointSet {
+	cuts := computeCuts(golden.Instrs, events, cfg.CheckpointInterval, cfg.MaxCheckpoints)
+	if len(cuts) == 0 {
+		return nil
+	}
+	cs := &CheckpointSet{}
+	spec := &cluster.CheckpointSpec{
+		Vectors: cuts,
+		OnSnapshot: func(k int, s *cluster.Snapshot) {
+			cs.snaps = append(cs.snaps, s)
+		},
+	}
+	res := cluster.Run(cluster.Job{
+		Image:       cfg.Image,
+		Size:        cfg.Ranks,
+		MPIConfig:   cfg.MPIConfig.WithQueueHeadroom(checkpointQueueHeadroom),
+		WallLimit:   cfg.WallLimit,
+		Checkpoints: spec,
+	})
+	if !matchesGolden(res, golden) {
+		return nil
+	}
+	for _, s := range cs.snaps {
+		cs.skipped = append(cs.skipped, s.TotalInstrs())
+	}
+	return cs
+}
+
+// matchesGolden verifies the checkpoint pass reproduced the golden run.
+func matchesGolden(res *cluster.Result, golden *Golden) bool {
+	if res.HangDetected || len(res.Ranks) != len(golden.Instrs) {
+		return false
+	}
+	for r := range res.Ranks {
+		rr := &res.Ranks[r]
+		if rr.Trap == nil || rr.Trap.Kind != vm.TrapExit || rr.Trap.Code != 0 {
+			return false
+		}
+		if rr.Instrs != golden.Instrs[r] || rr.Stats.TotalBytes() != golden.RecvBytes[r] {
+			return false
+		}
+	}
+	return bytes.Equal(res.CanonicalOutput(), golden.Output)
+}

@@ -274,9 +274,15 @@ func TestDirectedSeedsReproduce(t *testing.T) {
 	dict := NewDictionary(im)
 	run := func() classify.Outcome {
 		e := &Experiment{Region: RegionRegularReg, Index: 4}
-		runOne(Config{Image: im, Ranks: ranks, WallLimit: 20 * time.Second},
-			golden, dict, golden.MaxInstrs()*4, e,
-			rng.New(77).Derive(uint64(e.Region), uint64(e.Index)))
+		cfg := Config{Image: im, Ranks: ranks, WallLimit: 20 * time.Second}
+		cctx := &campaignCtx{
+			cfg: &cfg, golden: golden, dict: dict,
+			budget: golden.MaxInstrs() * 4,
+			met:    newCampaignMeters(nil),
+		}
+		sc := &expScratch{}
+		rng.New(77).DeriveInto(&sc.r, uint64(e.Region), uint64(e.Index))
+		runOne(cctx, e, sc)
 		return e.Outcome
 	}
 	if a, b := run(), run(); a != b {

@@ -13,6 +13,9 @@ import (
 type campaignMeters struct {
 	planned, resumed, started, finished *telemetry.Counter
 	unapplied, corrupted                *telemetry.Counter
+	ckptTaken, ckptHits, ckptMisses     *telemetry.Counter
+	ckptFallbacks                       *telemetry.Counter
+	instrsSkipped                       *telemetry.Gauge
 	inflight                            *telemetry.Gauge
 	outcomes                            [classify.NumOutcomes]*telemetry.Counter
 	crashLatency, hangLatency           *telemetry.Histogram
@@ -20,15 +23,20 @@ type campaignMeters struct {
 
 func newCampaignMeters(reg *telemetry.Registry) *campaignMeters {
 	m := &campaignMeters{
-		planned:      reg.Counter(telemetry.MetricExperimentsPlanned),
-		resumed:      reg.Counter(telemetry.MetricExperimentsResumed),
-		started:      reg.Counter(telemetry.MetricExperimentsStarted),
-		finished:     reg.Counter(telemetry.MetricExperimentsFinished),
-		unapplied:    reg.Counter(telemetry.MetricUnapplied),
-		corrupted:    reg.Counter(telemetry.MetricMessagesCorrupted),
-		inflight:     reg.Gauge(telemetry.MetricExperimentsInflight),
-		crashLatency: reg.Histogram(telemetry.MetricCrashLatency, telemetry.LatencyBuckets),
-		hangLatency:  reg.Histogram(telemetry.MetricHangLatency, telemetry.LatencyBuckets),
+		planned:       reg.Counter(telemetry.MetricExperimentsPlanned),
+		resumed:       reg.Counter(telemetry.MetricExperimentsResumed),
+		started:       reg.Counter(telemetry.MetricExperimentsStarted),
+		finished:      reg.Counter(telemetry.MetricExperimentsFinished),
+		unapplied:     reg.Counter(telemetry.MetricUnapplied),
+		corrupted:     reg.Counter(telemetry.MetricMessagesCorrupted),
+		ckptTaken:     reg.Counter(telemetry.MetricCheckpointsTaken),
+		ckptHits:      reg.Counter(telemetry.MetricCheckpointHits),
+		ckptMisses:    reg.Counter(telemetry.MetricCheckpointMisses),
+		ckptFallbacks: reg.Counter(telemetry.MetricCheckpointFallbacks),
+		instrsSkipped: reg.Gauge(telemetry.MetricInstrsSkipped),
+		inflight:      reg.Gauge(telemetry.MetricExperimentsInflight),
+		crashLatency:  reg.Histogram(telemetry.MetricCrashLatency, telemetry.LatencyBuckets),
+		hangLatency:   reg.Histogram(telemetry.MetricHangLatency, telemetry.LatencyBuckets),
 	}
 	for o := classify.Outcome(0); o < classify.NumOutcomes; o++ {
 		m.outcomes[o] = reg.Counter(telemetry.OutcomeMetric(o.String()))

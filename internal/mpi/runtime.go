@@ -54,6 +54,10 @@ type World struct {
 	// transport, when non-nil, carries Channel packets over an external
 	// medium (e.g. TCPTransport) instead of the in-process queues.
 	transport Transport
+
+	// rec, when non-nil, records message causality on the in-process
+	// queue path (see snapshot.go); unused with an external transport.
+	rec *CausalityRecorder
 }
 
 // SetTransport attaches an external Channel transport.  Call before any
@@ -209,6 +213,9 @@ func (p *Proc) deliver(dst int32, raw []byte, m *vm.Machine) *vm.Trap {
 		}
 		return nil
 	}
+	if rec := p.w.rec; rec != nil {
+		raw = rec.wrap(p.rank, m.Instrs, raw)
+	}
 	q := p.w.procs[dst].in
 	p.w.inflight.Add(1)
 	// Enqueueing counts as progress: the stall detector must not mistake
@@ -259,6 +266,10 @@ func (p *Proc) pull(m *vm.Machine) (*Packet, *vm.Trap) {
 		}
 		p.w.inflight.Add(-1)
 		p.w.progress.Add(1)
+
+		if rec := p.w.rec; rec != nil && p.w.transport == nil {
+			raw = rec.strip(raw, p.rank, m.Instrs)
+		}
 
 		// §3.3: the injection point — after the Channel recv, before
 		// parsing.

@@ -99,6 +99,23 @@ func (r *Rand) Derive(labels ...uint64) *Rand {
 	return &Rand{state: s}
 }
 
+// SplitInto seeds dst with the stream Split would return, without
+// allocating.  The receiver advances by one step, exactly as in Split.
+func (r *Rand) SplitInto(dst *Rand) {
+	dst.state = r.Uint64()
+}
+
+// DeriveInto seeds dst with the stream Derive(labels...) would return,
+// without allocating a new generator; the receiver is not advanced.
+// Campaign workers use it to re-seed pooled per-experiment generators.
+func (r *Rand) DeriveInto(dst *Rand, labels ...uint64) {
+	s := r.state
+	for _, l := range labels {
+		s = mix(s ^ (l + gamma))
+	}
+	dst.state = s
+}
+
 // Perm returns a uniformly random permutation of [0, n).
 func (r *Rand) Perm(n int) []int {
 	p := make([]int, n)

@@ -16,6 +16,17 @@ const (
 	MetricUnapplied           = "mpifault_experiments_unapplied_total"
 	MetricMessagesCorrupted   = "mpifault_messages_corrupted_total"
 
+	// Golden-run checkpointing (internal/core).  Hits/misses count
+	// experiments started from a checkpoint vs from t=0; the
+	// instructions-skipped gauge totals the golden-prefix work restored
+	// experiments did not repeat; fallbacks count campaigns whose
+	// checkpoint pass failed validation and reverted to scratch starts.
+	MetricCheckpointsTaken    = "mpifault_checkpoints_taken_total"
+	MetricCheckpointHits      = "mpifault_checkpoint_hits_total"
+	MetricCheckpointMisses    = "mpifault_checkpoint_misses_total"
+	MetricCheckpointFallbacks = "mpifault_checkpoint_fallbacks_total"
+	MetricInstrsSkipped       = "mpifault_checkpoint_instructions_skipped"
+
 	// Fault-forensics latency histograms (injection to manifestation,
 	// in retired instructions — the §5.2 axis).
 	MetricCrashLatency = "mpifault_crash_latency_instructions"

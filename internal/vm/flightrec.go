@@ -39,6 +39,11 @@ func (f *FlightRecorder) Load(addr uint32, size int) {}
 // Store implements Tracer; data accesses are not recorded.
 func (f *FlightRecorder) Store(addr uint32, size int) {}
 
+// Reset clears the recorder for reuse; the ring's storage is kept.
+// Campaign workers pool recorders across experiments so forensics does
+// not allocate a fresh ring per injection.
+func (f *FlightRecorder) Reset() { f.n = 0 }
+
 // Seen returns how many instructions the recorder has observed.
 func (f *FlightRecorder) Seen() uint64 { return f.n }
 

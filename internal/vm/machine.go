@@ -233,31 +233,32 @@ func (s *segment) mutable(off uint32, n int) []byte {
 // ensure gives the segment private backing covering at least [0, end).
 // Lazy segments grow by doubling in 16 KiB quanta, capped at the logical
 // size, so repeated small writes — the heap break creeping upward — cost
-// amortized O(bytes touched), not O(segment size).
+// amortized O(bytes touched), not O(segment size).  Shared segments may be
+// only partially backed (a checkpoint aliases whatever the snapshotted
+// machine had grown), so unsharing and growing are one copy: allocate the
+// grown size, copy the aliased prefix, and the segment is private.
 func (s *segment) ensure(end int) {
-	if s.shared {
-		// Shared segments are always fully backed (end <= len(bytes)).
-		s.bytes = append([]byte(nil), s.bytes...)
-		s.shared = false
+	if !s.shared && end <= len(s.bytes) {
 		return
 	}
-	if end <= len(s.bytes) {
-		return
-	}
-	grown := 2 * len(s.bytes)
-	const quantum = 16 << 10
-	if grown < quantum {
-		grown = quantum
-	}
-	if grown < end {
-		grown = end
-	}
-	if grown > int(s.length) {
-		grown = int(s.length)
+	grown := len(s.bytes)
+	if end > grown {
+		grown *= 2
+		const quantum = 16 << 10
+		if grown < quantum {
+			grown = quantum
+		}
+		if grown < end {
+			grown = end
+		}
+		if grown > int(s.length) {
+			grown = int(s.length)
+		}
 	}
 	nb := make([]byte, grown)
 	copy(nb, s.bytes)
 	s.bytes = nb
+	s.shared = false
 }
 
 // New loads the image into a fresh machine.  Text and data are shared

@@ -1,0 +1,118 @@
+package vm
+
+import (
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+)
+
+// Snapshot is an immutable copy of a Machine's full architectural state:
+// registers, FPU environment, retired-instruction count, segment images
+// and heap-allocator bookkeeping.  It is the per-rank building block of a
+// cluster checkpoint (the analogue of a CRIU dump of one MPI process).
+//
+// Segment backing is aliased copy-on-write in both directions: taking a
+// snapshot marks the live machine's segments shared (its next write
+// copies privately), and every machine created from the snapshot aliases
+// the same bytes until its own first write.  N concurrent experiments
+// restored from one checkpoint therefore share a single set of backing
+// pages and only pay for what they touch — the same trick New uses
+// against the program image, applied to a mid-run state.
+type Snapshot struct {
+	regs      [isa.NumGPR]uint32
+	pc, flags uint32
+	fp        FPEnv
+	instrs    uint64
+	minSP     uint32
+
+	im        *image.Image
+	segs      [5][]byte // text, data, bss, heap, stack backing prefixes
+	textDirty []uint64
+	heap      heapSnap
+}
+
+// heapSnap captures the Allocator's host-side bookkeeping.  The chunk
+// headers themselves live in guest memory and are covered by the heap
+// segment bytes.
+type heapSnap struct {
+	brk               uint32
+	free              []span
+	allocated         map[uint32]uint32
+	liveUser, liveMPI uint32
+	peakUser, peakMPI uint32
+}
+
+// Snapshot captures the machine's current state.  The machine must be
+// quiescent (not executing on another goroutine).  Its segments become
+// copy-on-write against the snapshot; the machine remains runnable.
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		regs:   m.Regs,
+		pc:     m.PC,
+		flags:  m.Flags,
+		fp:     m.FP,
+		instrs: m.Instrs,
+		minSP:  m.MinSP,
+		im:     m.Image,
+	}
+	for i, seg := range []*segment{&m.text, &m.data, &m.bss, &m.heap, &m.stack} {
+		seg.shared = true
+		s.segs[i] = seg.bytes
+	}
+	if m.textDirty != nil {
+		s.textDirty = append([]uint64(nil), m.textDirty...)
+	}
+	h := m.Heap
+	s.heap = heapSnap{
+		brk:       h.brk,
+		free:      append([]span(nil), h.free...),
+		allocated: make(map[uint32]uint32, len(h.allocated)),
+		liveUser:  h.liveUser,
+		liveMPI:   h.liveMPI,
+		peakUser:  h.PeakUser,
+		peakMPI:   h.PeakMPI,
+	}
+	for addr, size := range h.allocated {
+		s.heap.allocated[addr] = size
+	}
+	return s
+}
+
+// NewMachine materializes a runnable machine from the snapshot.  All
+// segments alias the snapshot's backing copy-on-write; Handler, Tracer,
+// trigger and stop state start clear, exactly as after New.
+func (s *Snapshot) NewMachine() *Machine {
+	im := s.im
+	m := &Machine{Image: im}
+	m.text = segment{base: image.TextBase, length: uint32(len(im.Text)), bytes: s.segs[0], shared: true}
+	m.data = segment{base: im.DataBase, length: uint32(len(im.Data)), bytes: s.segs[1], writable: true, shared: true}
+	m.bss = segment{base: im.BSSBase, length: im.BSSSize, bytes: s.segs[2], writable: true, shared: true}
+	m.heap = segment{base: im.HeapBase, length: im.HeapLimit - im.HeapBase, bytes: s.segs[3], writable: true, shared: true}
+	m.stack = segment{base: im.StackBase(), length: im.StackSize, bytes: s.segs[4], writable: true, shared: true}
+	m.pre = predecodeFor(im)
+	if s.textDirty != nil {
+		m.textDirty = append([]uint64(nil), s.textDirty...)
+	}
+	m.Regs = s.regs
+	m.PC = s.pc
+	m.Flags = s.flags
+	m.FP = s.fp
+	m.Instrs = s.instrs
+	m.MinSP = s.minSP
+	m.Heap = &Allocator{
+		m:         m,
+		brk:       s.heap.brk,
+		free:      append([]span(nil), s.heap.free...),
+		allocated: make(map[uint32]uint32, len(s.heap.allocated)),
+		liveUser:  s.heap.liveUser,
+		liveMPI:   s.heap.liveMPI,
+		PeakUser:  s.heap.peakUser,
+		PeakMPI:   s.heap.peakMPI,
+	}
+	for addr, size := range s.heap.allocated {
+		m.Heap.allocated[addr] = size
+	}
+	return m
+}
+
+// Instrs returns the retired-instruction count at the capture point.
+func (s *Snapshot) Instrs() uint64 { return s.instrs }
