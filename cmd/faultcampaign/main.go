@@ -7,7 +7,8 @@
 //	faultcampaign [-app wavetoy|minimd|minicam|all] [-n 500] [-seed 1]
 //	              [-regions reg,fp,...] [-csv] [-quiet]
 //	              [-shard i/K] [-journal path] [-resume]
-//	              [-liveness live|dead] [-predict]
+//	              [-liveness live|dead] [-equivalence annotate|prune|audit]
+//	              [-predict]
 //	              [-metrics-addr :9090] [-metrics-out snapshot.json]
 //	              [-status 2s] [-forensics]
 //	              [-checkpoint-interval 12500] [-checkpoints 32]
@@ -57,6 +58,15 @@
 // come back Correct).  -predict prints the static AVF forecast next to
 // the campaign's measured manifestation rates.
 //
+// -equivalence drives register injections by the dataflow equivalence
+// partition instead: "prune" samples only bits the analysis cannot
+// prove benign and prints Horvitz–Thompson reweighted rates alongside
+// the raw tables, "annotate" runs the byte-identical full campaign but
+// stamps each register experiment with its equivalence class and
+// validates every static claim against the outcomes, and "audit"
+// samples only provably-benign bits (everything must classify Correct).
+// Mutually exclusive with -liveness.
+//
 // Exit status: 0 on a clean campaign, 1 if any experiment failed to
 // classify (no fault was actually applied, so its row is meaningless —
 // CI gates on this), 130 when interrupted by a signal.
@@ -100,6 +110,7 @@ func run() int {
 	journalPath := flag.String("journal", "", "append finished experiments to this JSONL checkpoint journal (single -app only)")
 	resume := flag.Bool("resume", false, "skip experiments already recorded in -journal instead of starting fresh")
 	liveness := flag.String("liveness", "", "direct register injections by static liveness (live or dead)")
+	equivalence := flag.String("equivalence", "", "drive register injections by the static equivalence partition (annotate, prune or audit)")
 	predict := flag.Bool("predict", false, "print the static AVF prediction next to the measured rates")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -239,6 +250,15 @@ func run() int {
 		log.Printf("unknown -liveness policy %q (want live or dead)", *liveness)
 		return 1
 	}
+	eqPolicy, err := core.ParseEquivalencePolicy(*equivalence)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if *liveness != "" && eqPolicy != core.EquivOff {
+		log.Print("-liveness and -equivalence are mutually exclusive")
+		return 1
+	}
 
 	names := []string{"wavetoy", "minimd", "minicam"}
 	if *app != "all" {
@@ -302,7 +322,7 @@ func run() int {
 		var prog *analysis.Program
 		var live *analysis.Liveness
 		var abiStats map[string]analysis.ABIStats
-		if *liveness != "" || *predict {
+		if *liveness != "" || *predict || eqPolicy != core.EquivOff {
 			if prog, err = analysis.Analyze(im); err != nil {
 				log.Printf("analyze %s: %v", name, err)
 				return 1
@@ -318,6 +338,17 @@ func run() int {
 		if *liveness != "" {
 			cfg.Liveness = live
 			cfg.LivenessPolicy = policy
+		}
+		if eqPolicy != core.EquivOff {
+			flow := analysis.ComputeDataflow(prog, live)
+			if len(flow.Findings) > 0 {
+				log.Printf("%s: dataflow pass reported %d findings; run faultlint", name, len(flow.Findings))
+				return 1
+			}
+			cfg.Equivalence = analysis.ComputeEquivalence(prog, live, flow, abiStats)
+			cfg.EquivalencePolicy = eqPolicy
+			// The reweighted tables need the per-experiment annotations.
+			cfg.KeepExperiments = true
 		}
 		if !*quiet {
 			cfg.Progress = func(done, total int) {
@@ -400,9 +431,38 @@ func run() int {
 			report.WriteCampaign(os.Stdout, fmt.Sprintf("%s, stands in for %s", name, a.Paper), res)
 			fmt.Printf("(campaign wall time %.1fs)\n\n", time.Since(start).Seconds())
 		}
+		// In -csv mode stdout carries only CSV tables; prose summaries
+		// move to stderr so the output stays machine-parseable.
+		prose := os.Stdout
+		if *csv {
+			prose = os.Stderr
+		}
 		if d := res.Directed; d != nil && d.Experiments > 0 {
-			fmt.Printf("%s: %s-directed register sampling: %.1f%% of the %d-bit space eligible -> %.1fx fewer injections for equal coverage\n\n",
+			fmt.Fprintf(prose, "%s: %s-directed register sampling: %.1f%% of the %d-bit space eligible -> %.1fx fewer injections for equal coverage\n\n",
 				name, d.Policy, 100*d.Fraction(), core.RegisterSpaceBits, d.Speedup())
+		}
+		if s := res.Equivalence; s != nil && s.Experiments > 0 {
+			fmt.Fprintf(prose, "%s: equivalence %s register sampling: %.1f%% of the %d-bit space provably benign, %d classes sampled\n",
+				name, s.Policy, 100*s.BenignFraction(), core.RegisterSpaceBits, s.Classes)
+			if s.Policy == core.EquivPrune {
+				if *csv {
+					report.WriteReweightedCSV(os.Stdout, name, res)
+				} else {
+					report.WriteReweighted(os.Stdout, name, res)
+				}
+			}
+			if s.Policy == core.EquivAudit || s.Policy == core.EquivAnnotate {
+				findings := core.ValidateEquivalence(cfg.Equivalence, res.Experiments)
+				if len(findings) > 0 {
+					for _, f := range findings {
+						log.Printf("%s: %s", name, f)
+					}
+					log.Printf("%s: %d equivalence claims contradicted by the campaign — analyzer bug", name, len(findings))
+					return 1
+				}
+				fmt.Fprintf(prose, "%s: all equivalence claims held against the campaign\n", name)
+			}
+			fmt.Fprintln(prose)
 		}
 		if *predict {
 			rep := analysis.EstimateAVF(prog, live, abiStats, nil)

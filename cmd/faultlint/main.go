@@ -3,131 +3,385 @@
 // (undecodable opcodes, branches into the middle of instructions,
 // control falling off the end), ABI/stack-discipline violations,
 // floating-point stack imbalance, register-liveness inconsistencies,
-// and — with -mpi — mismatches in the recorded point-to-point traffic.
-// It also prints the static AVF prediction table: the per-region
-// fraction of fault-sensitive state the analyzer expects, the forecast
-// the injection campaigns of the paper measure empirically.
+// dataflow/liveness disagreements, and — with -mpi — mismatches in the
+// recorded point-to-point traffic.  It also prints the static AVF
+// prediction table and the equivalence-partition summary: the per-region
+// fault-sensitive fraction the analyzer forecasts, and how much of the
+// injection space its def-use classes prove benign.
 //
-// The exit status is the number of apps with findings, so a clean tree
-// exits 0 and the tool slots into tier-1 checks.
+// With -equivalence it additionally runs fixed-seed validation
+// campaigns per app and holds the partition to account: an annotated
+// full campaign (register, data, BSS) where every provably-benign draw
+// must classify Correct and same-class pilots must agree, an audit
+// campaign sampling only provably-benign bits (all must be Correct),
+// and a pruned campaign whose reweighted register rate must agree with
+// the full campaign within the combined sampling error.  Any violation
+// is an analyzer bug and a finding.
+//
+// Exit status: 0 clean, 1 findings (static or validation), 2
+// operational error.
 //
 // Usage:
 //
-//	faultlint                      # all apps, static passes + AVF table
+//	faultlint                      # all apps, static passes + tables
 //	faultlint -app minimd -v       # one app, per-function statistics
+//	faultlint -json                # machine-readable report on stdout
 //	faultlint -mpi                 # also lint recorded MPI traffic
 //	faultlint -profile             # measured denominators for the AVF table
+//	faultlint -equivalence -eqn 64 # campaign-validate the static claims
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"sort"
 	"time"
 
 	"mpifault/internal/analysis"
 	"mpifault/internal/apps"
+	"mpifault/internal/core"
+	"mpifault/internal/image"
 	"mpifault/internal/mpi"
 	"mpifault/internal/profile"
+	"mpifault/internal/sampling"
 )
+
+type options struct {
+	withMPI, withProfile, verbose bool
+	jsonOut                       bool
+	equivalence                   bool
+	eqn                           int
+	eqseed                        uint64
+}
 
 func main() {
 	app := flag.String("app", "", "lint a single application (default: all)")
-	withMPI := flag.Bool("mpi", false, "run the app once and lint its point-to-point traffic")
-	withProfile := flag.Bool("profile", false, "measure the app to refine the AVF denominators")
-	verbose := flag.Bool("v", false, "per-function liveness and ABI statistics")
+	opts := options{}
+	flag.BoolVar(&opts.withMPI, "mpi", false, "run the app once and lint its point-to-point traffic")
+	flag.BoolVar(&opts.withProfile, "profile", false, "measure the app to refine the AVF denominators")
+	flag.BoolVar(&opts.verbose, "v", false, "per-function liveness and ABI statistics")
+	flag.BoolVar(&opts.jsonOut, "json", false, "emit a machine-readable JSON report on stdout")
+	flag.BoolVar(&opts.equivalence, "equivalence", false, "validate the equivalence partition with fixed-seed campaigns")
+	flag.IntVar(&opts.eqn, "eqn", 48, "injections per region for -equivalence validation campaigns")
+	flag.Uint64Var(&opts.eqseed, "eqseed", 1, "seed for -equivalence validation campaigns")
 	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("faultlint: ")
 
+	os.Exit(run(*app, opts, os.Stdout))
+}
+
+// run executes the lint over the selected apps and returns the process
+// exit code: 0 clean, 1 findings, 2 operational error.
+func run(app string, opts options, w io.Writer) int {
 	var names []string
-	if *app != "" {
-		names = []string{*app}
+	if app != "" {
+		names = []string{app}
 	} else {
 		for _, a := range apps.Registry() {
 			names = append(names, a.Name)
 		}
 	}
 
-	bad := 0
+	var reports []*appReport
+	findings := false
 	for _, name := range names {
-		if lintApp(name, *withMPI, *withProfile, *verbose) {
-			bad++
+		rep, err := lintApp(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultlint: %s: %v\n", name, err)
+			return 2
+		}
+		if len(rep.Findings) > 0 || (rep.Validation != nil && len(rep.Validation.Findings) > 0) {
+			findings = true
+		}
+		reports = append(reports, rep)
+	}
+
+	if opts.jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "faultlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, rep := range reports {
+			rep.write(w, opts.verbose)
 		}
 	}
-	os.Exit(bad)
+	if findings {
+		return 1
+	}
+	return 0
 }
 
-// lintApp runs all passes over one app and reports; it returns whether
-// anything was found.
-func lintApp(name string, withMPI, withProfile, verbose bool) bool {
+// appReport is one application's full lint result — also the -json
+// serialization, so everything in it is deterministic: findings are
+// stable-sorted and all table quantities are integers.
+type appReport struct {
+	App        string                `json:"app"`
+	Functions  int                   `json:"functions"`
+	Reachable  int                   `json:"reachable"`
+	Findings   []findingJSON         `json:"findings"`
+	AVF        []avfRowJSON          `json:"avf"`
+	Equiv      analysis.EquivSummary `json:"equivalence"`
+	MPI        *mpiJSON              `json:"mpi,omitempty"`
+	Validation *validationReport     `json:"validation,omitempty"`
+
+	// unserialized internals for the human report
+	avf      *analysis.AVFReport
+	eq       *analysis.Equivalence
+	live     *analysis.Liveness
+	prog     *analysis.Program
+	abiStats map[string]analysis.ABIStats
+}
+
+type findingJSON struct {
+	Pass string `json:"pass"`
+	Func string `json:"func,omitempty"`
+	Addr uint32 `json:"addr,omitempty"`
+	Msg  string `json:"msg"`
+}
+
+type avfRowJSON struct {
+	Region    string `json:"region"`
+	Sensitive uint64 `json:"sensitive"`
+	Total     uint64 `json:"total"`
+}
+
+type mpiJSON struct {
+	Ops     int `json:"ops"`
+	Matched int `json:"matched"`
+}
+
+// validationReport is the -equivalence campaign evidence.
+type validationReport struct {
+	Injections int      `json:"injections"`
+	Seed       uint64   `json:"seed"`
+	Findings   []string `json:"findings"`
+	// FullRegRatePct / PrunedRegRatePct: the register-region error rate
+	// of the annotated full campaign and the reweighted rate of the
+	// pruned campaign; AgreementBoundPct is the combined sampling error
+	// the two may differ by (using Kish's effective n for the pruned
+	// side).
+	FullRegRatePct    float64 `json:"full_reg_rate_pct"`
+	PrunedRegRatePct  float64 `json:"pruned_reg_rate_pct"`
+	AgreementBoundPct float64 `json:"agreement_bound_pct"`
+	EffectiveN        float64 `json:"effective_n"`
+}
+
+// lintApp runs all passes (and optionally the validation campaigns)
+// over one app.
+func lintApp(name string, opts options) (*appReport, error) {
 	a, err := apps.Get(name)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	im, err := a.Build(a.Default)
 	if err != nil {
-		log.Fatalf("%s: %v", name, err)
+		return nil, err
 	}
 
 	prog, err := analysis.Analyze(im)
 	if err != nil {
-		log.Fatalf("%s: %v", name, err)
+		return nil, err
 	}
 	live := analysis.ComputeLiveness(prog)
 	abiFindings, abiStats := analysis.ABICheck(prog)
+	flow := analysis.ComputeDataflow(prog, live)
+	eq := analysis.ComputeEquivalence(prog, live, flow, abiStats)
 
 	findings := append([]analysis.Finding(nil), prog.Findings...)
 	findings = append(findings, live.Findings...)
 	findings = append(findings, abiFindings...)
+	findings = append(findings, flow.Findings...)
 
-	if withMPI {
+	rep := &appReport{
+		App:       name,
+		Functions: len(prog.Funcs),
+		Equiv:     eq.Summary,
+		avf:       nil,
+		eq:        eq,
+		live:      live,
+		prog:      prog,
+		abiStats:  abiStats,
+	}
+	for _, f := range prog.Funcs {
+		if f.Reachable {
+			rep.Reachable++
+		}
+	}
+
+	if opts.withMPI {
 		res := analysis.MPILint(im, a.Default.Ranks, mpi.Config{}, 0, 30*time.Second)
 		findings = append(findings, res.Findings...)
-		fmt.Printf("%s: mpi traffic: %d ops, %d pairs matched\n", name, res.Ops, res.Matched)
+		rep.MPI = &mpiJSON{Ops: res.Ops, Matched: res.Matched}
 	}
 
 	var prof *profile.Profile
-	if withProfile {
+	if opts.withProfile {
 		if prof, err = profile.Measure(name, im, a.Default.Ranks, mpi.Config{}); err != nil {
-			log.Fatalf("%s: profile: %v", name, err)
+			return nil, fmt.Errorf("profile: %v", err)
 		}
 	}
 
-	reachable := 0
-	for _, f := range prog.Funcs {
-		if f.Reachable {
-			reachable++
+	// Stable order so -json goldens and CI diffs are deterministic.
+	sort.SliceStable(findings, func(i, j int) bool {
+		if findings[i].Pass != findings[j].Pass {
+			return findings[i].Pass < findings[j].Pass
+		}
+		if findings[i].Func != findings[j].Func {
+			return findings[i].Func < findings[j].Func
+		}
+		if findings[i].Addr != findings[j].Addr {
+			return findings[i].Addr < findings[j].Addr
+		}
+		return findings[i].Msg < findings[j].Msg
+	})
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, findingJSON{Pass: f.Pass, Func: f.Func, Addr: f.Addr, Msg: f.Msg})
+	}
+
+	rep.avf = analysis.EstimateAVF(prog, live, abiStats, prof)
+	rep.avf.App = name
+	for _, r := range rep.avf.Rows {
+		rep.AVF = append(rep.AVF, avfRowJSON{Region: r.Region, Sensitive: r.Sensitive, Total: r.Total})
+	}
+
+	if opts.equivalence {
+		val, err := validateApp(im, a.Default.Ranks, eq, opts)
+		if err != nil {
+			return nil, fmt.Errorf("equivalence validation: %v", err)
+		}
+		rep.Validation = val
+	}
+	return rep, nil
+}
+
+// validateApp runs the fixed-seed validation campaigns and checks every
+// static claim against their outcomes.
+func validateApp(im *image.Image, ranks int, eq *analysis.Equivalence, opts options) (*validationReport, error) {
+	val := &validationReport{Injections: opts.eqn, Seed: opts.eqseed}
+
+	base := core.Config{
+		Image:           im,
+		Ranks:           ranks,
+		Injections:      opts.eqn,
+		Seed:            opts.eqseed,
+		KeepExperiments: true,
+		Equivalence:     eq,
+	}
+
+	// Annotated full campaign over the regions the partition makes
+	// claims about: the ground truth.
+	full := base
+	full.EquivalencePolicy = core.EquivAnnotate
+	full.Regions = []core.Region{core.RegionRegularReg, core.RegionData, core.RegionBSS}
+	fullRes, err := core.Run(full)
+	if err != nil {
+		return nil, err
+	}
+
+	// Audit campaign: sample only provably-benign register bits.
+	audit := base
+	audit.EquivalencePolicy = core.EquivAudit
+	audit.Regions = []core.Region{core.RegionRegularReg}
+	auditRes, err := core.Run(audit)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pruned campaign: the accelerator whose reweighted rate must match.
+	prune := base
+	prune.EquivalencePolicy = core.EquivPrune
+	prune.Regions = []core.Region{core.RegionRegularReg}
+	pruneRes, err := core.Run(prune)
+	if err != nil {
+		return nil, err
+	}
+
+	var exps []core.Experiment
+	exps = append(exps, fullRes.Experiments...)
+	exps = append(exps, auditRes.Experiments...)
+	exps = append(exps, pruneRes.Experiments...)
+	for _, f := range core.ValidateEquivalence(eq, exps) {
+		val.Findings = append(val.Findings, f.String())
+	}
+
+	// Rate agreement: annotated-full vs pruned-reweighted register rate,
+	// within the combined sampling error of the two estimates.
+	fullTally, _ := fullRes.Tally(core.RegionRegularReg)
+	val.FullRegRatePct = fullTally.ErrorRate()
+	weighted := core.ReweightTallies([]core.Region{core.RegionRegularReg}, pruneRes.Experiments)
+	val.PrunedRegRatePct = weighted[0].ErrorRate()
+
+	var wts []float64
+	for i := range pruneRes.Experiments {
+		e := &pruneRes.Experiments[i]
+		if e.Region == core.RegionRegularReg {
+			wts = append(wts, float64(core.RegisterSpaceBits-e.BenignBits)/float64(core.RegisterSpaceBits))
 		}
 	}
-	fmt.Printf("%s: %d functions (%d reachable), %d findings\n", name, len(prog.Funcs), reachable, len(findings))
-	for _, f := range findings {
-		fmt.Printf("  %s\n", f)
+	neff, err := sampling.EffectiveSampleSize(wts)
+	if err != nil {
+		return nil, err
+	}
+	val.EffectiveN = neff
+	bound, err := sampling.DifferenceBound(0.95, fullTally.Executions, int(neff))
+	if err != nil {
+		return nil, err
+	}
+	val.AgreementBoundPct = 100 * bound
+	if diff := val.FullRegRatePct - val.PrunedRegRatePct; diff > val.AgreementBoundPct || -diff > val.AgreementBoundPct {
+		val.Findings = append(val.Findings, fmt.Sprintf(
+			"rate-disagreement: full %.1f%% vs pruned-reweighted %.1f%% exceeds the %.1f%% sampling bound (n=%d, n_eff=%.0f)",
+			val.FullRegRatePct, val.PrunedRegRatePct, val.AgreementBoundPct, fullTally.Executions, neff))
+	}
+	return val, nil
+}
+
+// write renders the human report for one app.
+func (rep *appReport) write(w io.Writer, verbose bool) {
+	if rep.MPI != nil {
+		fmt.Fprintf(w, "%s: mpi traffic: %d ops, %d pairs matched\n", rep.App, rep.MPI.Ops, rep.MPI.Matched)
+	}
+	fmt.Fprintf(w, "%s: %d functions (%d reachable), %d findings\n",
+		rep.App, rep.Functions, rep.Reachable, len(rep.Findings))
+	for _, f := range rep.Findings {
+		fmt.Fprintf(w, "  %s\n", analysis.Finding{Pass: f.Pass, Func: f.Func, Addr: f.Addr, Msg: f.Msg})
 	}
 
 	if verbose {
-		for _, f := range prog.Funcs {
+		for _, f := range rep.prog.Funcs {
 			if !f.Reachable {
-				fmt.Printf("  %-24s unreachable\n", f.Sym.Name)
+				fmt.Fprintf(w, "  %-24s unreachable\n", f.Sym.Name)
 				continue
 			}
-			st := abiStats[f.Sym.Name]
+			st := rep.abiStats[f.Sym.Name]
 			frame := "leaf"
 			if st.HasFrame {
 				frame = "framed"
 			}
-			use, _ := live.FuncEntryUse(f.Sym.Name)
-			fmt.Printf("  %-24s %3d instrs, %2d blocks, %s, %d stack words, entry uses %s\n",
+			use, _ := rep.live.FuncEntryUse(f.Sym.Name)
+			fmt.Fprintf(w, "  %-24s %3d instrs, %2d blocks, %s, %d stack words, entry uses %s\n",
 				f.Sym.Name, len(f.Instrs), len(f.Blocks), frame,
 				st.MaxDepthWords, use)
 		}
 	}
 
-	rep := analysis.EstimateAVF(prog, live, abiStats, prof)
-	rep.App = name
-	fmt.Printf("%s: static fault-sensitivity prediction:\n", name)
-	rep.WriteAVF(os.Stdout, nil)
-	fmt.Println()
-	return len(findings) > 0
+	fmt.Fprintf(w, "%s: static fault-sensitivity prediction:\n", rep.App)
+	rep.avf.WriteAVF(w, nil)
+	fmt.Fprintf(w, "%s: equivalence partition:\n", rep.App)
+	rep.eq.WriteReport(w)
+
+	if v := rep.Validation; v != nil {
+		fmt.Fprintf(w, "%s: validation (n=%d per region, seed %d): full reg %.1f%% vs pruned-reweighted %.1f%% (bound %.1f%%, n_eff %.0f), %d findings\n",
+			rep.App, v.Injections, v.Seed, v.FullRegRatePct, v.PrunedRegRatePct,
+			v.AgreementBoundPct, v.EffectiveN, len(v.Findings))
+		for _, f := range v.Findings {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+	}
+	fmt.Fprintln(w)
 }

@@ -62,7 +62,7 @@ func EstimateAVF(prog *Program, live *Liveness, abiStats map[string]ABIStats, pr
 	)
 	dataRow, bssRow := staticDataRows(prog)
 	stack := stackRow(prog, abiStats)
-	if prof != nil && prof.StackBytes > 0 {
+	if prof != nil && prof.StackBytes > 0 && stack.Total > 0 {
 		// Rescale to the measured stack extent so absolute bytes match
 		// what the stack-region injector actually targets.
 		frac := stack.Fraction()
@@ -124,26 +124,7 @@ func textRow(prog *Program) AVFRow {
 // symbol counts: field-level tracking is beyond a static pass over raw
 // immediates.
 func staticDataRows(prog *Program) (data, bss AVFRow) {
-	referenced := make(map[string]bool)
-	touch := func(addr uint32) {
-		if sym, ok := prog.Image.FindSymbol(addr); ok && sym.Owner == image.OwnerUser &&
-			(sym.Kind == image.SymData || sym.Kind == image.SymBSS) {
-			referenced[sym.Name] = true
-		}
-	}
-	for _, f := range prog.Funcs {
-		if !f.Reachable {
-			continue
-		}
-		for i, in := range f.Instrs {
-			if !f.reach[i] {
-				continue
-			}
-			if in.Op == isa.OpMovi || in.Op.IsMemForm() {
-				touch(uint32(in.Imm))
-			}
-		}
-	}
+	referenced := referencedDataSyms(prog)
 	for _, sym := range prog.Image.Symbols {
 		if sym.Owner != image.OwnerUser {
 			continue
@@ -166,6 +147,35 @@ func staticDataRows(prog *Program) (data, bss AVFRow) {
 	return data, bss
 }
 
+// referencedDataSyms returns the user data/BSS symbols whose address
+// appears in a reachable instruction's immediate.  Both the AVF
+// estimator and the equivalence pass key their data-region claims on
+// this one set, so the forecast and the benign partition cannot drift
+// apart.
+func referencedDataSyms(prog *Program) map[string]bool {
+	referenced := make(map[string]bool)
+	touch := func(addr uint32) {
+		if sym, ok := prog.Image.FindSymbol(addr); ok && sym.Owner == image.OwnerUser &&
+			(sym.Kind == image.SymData || sym.Kind == image.SymBSS) {
+			referenced[sym.Name] = true
+		}
+	}
+	for _, f := range prog.Funcs {
+		if !f.Reachable {
+			continue
+		}
+		for i, in := range f.Instrs {
+			if !f.reach[i] {
+				continue
+			}
+			if in.Op == isa.OpMovi || in.Op.IsMemForm() {
+				touch(uint32(in.Imm))
+			}
+		}
+	}
+	return referenced
+}
+
 // stackRow models each reachable user function's frame: 4 bytes of
 // return address and everything below it (saved fp, locals, transient
 // pushes) as the full frame; the live part keeps the return address,
@@ -177,7 +187,14 @@ func stackRow(prog *Program, abiStats map[string]ABIStats) AVFRow {
 		if !f.Reachable || f.Sym.Owner != image.OwnerUser {
 			continue
 		}
-		st := abiStats[f.Sym.Name]
+		// Without ABI stats there is no link-time frame size; skipping
+		// the function (rather than fabricating an extent from the zero
+		// value) leaves Total=0 when nothing is known, which WriteAVF
+		// reports by omitting the row instead of printing a fake 0%.
+		st, ok := abiStats[f.Sym.Name]
+		if !ok {
+			continue
+		}
 		full := 4 + 4*st.MaxDepthWords
 		readLocals := make(map[int32]int)
 		for i, in := range f.Instrs {
@@ -225,6 +242,12 @@ func (rep *AVFReport) WriteAVF(w io.Writer, measured map[string]float64) {
 		fmt.Fprintln(tw, "region\tsensitive\ttotal\tpredicted\t")
 	}
 	for _, r := range rep.Rows {
+		if r.Total == 0 {
+			// Nothing is known about the region (e.g. the stack row with
+			// no profile and no link-time frame sizes); a "0/0 = 0%" row
+			// would read as a prediction, so skip it.
+			continue
+		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f%%\t", r.Region, r.Sensitive, r.Total, 100*r.Fraction())
 		if len(measured) > 0 {
 			if m, ok := measured[r.Region]; ok {

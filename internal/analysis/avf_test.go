@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpifault/internal/asm"
+	"mpifault/internal/isa"
+	"mpifault/internal/profile"
+)
+
+func avfRow(t *testing.T, rep *AVFReport, region string) AVFRow {
+	t.Helper()
+	for _, r := range rep.Rows {
+		if r.Region == region {
+			return r
+		}
+	}
+	t.Fatalf("no %q row in the AVF report", region)
+	return AVFRow{}
+}
+
+// TestAVFStackDenominatorFallback: when neither ABI stats nor a profile
+// supply a stack extent, the stack row's denominator is unknown — the
+// estimator must report Total=0 (not fabricate an extent from zero
+// frame sizes) and WriteAVF must omit the row rather than print a fake
+// 0% prediction.
+func TestAVFStackDenominatorFallback(t *testing.T) {
+	im := buildApp(t, func(m *asm.Module) {
+		f := m.Func("main")
+		f.Prologue(0)
+		f.Call("worker")
+		f.Movi(isa.R0, 0)
+		f.Epilogue()
+		g := m.Func("worker")
+		g.Prologue(8)
+		g.Movi(isa.R1, 3)
+		g.St(isa.FP, -4, isa.R1)
+		g.Ld(isa.R2, isa.FP, -4)
+		g.Add(isa.R0, isa.R2, isa.R2)
+		g.Epilogue()
+	})
+	prog, live, all := analyzeImage(t, im)
+	for _, f := range all {
+		t.Fatalf("unexpected finding: %s", f)
+	}
+
+	// No frame sizes, no profile: the denominator is unknown.
+	rep := EstimateAVF(prog, live, map[string]ABIStats{}, nil)
+	if st := avfRow(t, rep, "Stack"); st.Total != 0 || st.Sensitive != 0 || st.Fraction() != 0 {
+		t.Errorf("stack row without frame sizes = %+v, want 0/0", st)
+	}
+	var buf bytes.Buffer
+	rep.WriteAVF(&buf, nil)
+	if strings.Contains(buf.String(), "Stack") {
+		t.Errorf("Stack row printed with an unknown denominator:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "Text") {
+		t.Errorf("known regions missing from the table:\n%s", buf.String())
+	}
+
+	// A measured profile alone cannot conjure the denominator: the
+	// rescale is gated on a nonzero link-time total.
+	prof := &profile.Profile{StackBytes: 4096}
+	rep = EstimateAVF(prog, live, map[string]ABIStats{}, prof)
+	if st := avfRow(t, rep, "Stack"); st.Total != 0 {
+		t.Errorf("profile rescale fabricated a stack extent: %+v", st)
+	}
+
+	// With real frame sizes the row returns; a profile rescales its
+	// denominator to the measured extent.
+	_, abiStats := ABICheck(prog)
+	rep = EstimateAVF(prog, live, abiStats, nil)
+	st := avfRow(t, rep, "Stack")
+	if st.Total == 0 || st.Sensitive == 0 || st.Sensitive > st.Total {
+		t.Errorf("stack row with frame sizes = %+v, want 0 < sensitive <= total", st)
+	}
+	rep = EstimateAVF(prog, live, abiStats, prof)
+	if st := avfRow(t, rep, "Stack"); st.Total != 4096 {
+		t.Errorf("profile rescale: total = %d, want the measured 4096", st.Total)
+	}
+	buf.Reset()
+	rep.WriteAVF(&buf, nil)
+	if !strings.Contains(buf.String(), "Stack") {
+		t.Errorf("Stack row missing despite a known denominator:\n%s", buf.String())
+	}
+}

@@ -79,8 +79,18 @@ type Experiment struct {
 	// clean run.
 	Detail string
 	// Candidates is the register-bit candidate-set size the injection
-	// sampled from: 320 undirected, fewer under a liveness policy.
+	// sampled from: 320 undirected, fewer under a liveness or
+	// equivalence policy.
 	Candidates int
+	// ClassID is the flipped bit's equivalence-class identity when the
+	// campaign ran with an EquivalenceMap; 0 for benign bits and
+	// unannotated experiments (see BenignBits to tell the two apart).
+	ClassID uint64
+	// BenignBits is the partition's provably-benign bit count at the
+	// injection site; 0 when the site was not partitioned.  An
+	// experiment with ClassID == 0 and BenignBits > 0 flipped a
+	// provably-benign bit and must classify Correct.
+	BenignBits int
 	// Forensics is the flight record of the injected rank, present only
 	// when the campaign ran with Config.Forensics.
 	Forensics *Forensics
@@ -130,6 +140,14 @@ type Config struct {
 	// LivenessPolicy selects live-only or dead-only register sampling;
 	// meaningful only with Liveness set.
 	LivenessPolicy LivenessPolicy
+	// Equivalence, when non-nil, drives register-region injections by
+	// the static site partition it reports (see internal/analysis) and
+	// annotates every register experiment with its class.  Mutually
+	// exclusive with Liveness.
+	Equivalence EquivalenceMap
+	// EquivalencePolicy selects annotate/prune/audit sampling;
+	// meaningful only with Equivalence set.
+	EquivalencePolicy EquivalencePolicy
 	// Shard/NumShards restrict the run to shard Shard of the
 	// NumShards-way partition of the plan (see Plan.Shard).  The zero
 	// value (0, 0) runs the whole plan, as does 0/1.  Because every
@@ -223,6 +241,9 @@ type Result struct {
 	// Directed summarizes the candidate-space pruning when the campaign
 	// ran with a liveness map; nil otherwise.
 	Directed *DirectedStats
+	// Equivalence summarizes the class sampling when the campaign ran
+	// with an equivalence map; nil otherwise.
+	Equivalence *EquivalenceStats
 	// Unclassified counts experiments that finished without applying a
 	// fault (see Experiment.Unapplied) — they carry no manifestation, so
 	// callers should treat a nonzero count as a failed campaign.
@@ -301,6 +322,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Shard < 0 || cfg.Shard >= cfg.NumShards {
 		return nil, fmt.Errorf("core: shard %d/%d out of range", cfg.Shard, cfg.NumShards)
+	}
+	if cfg.Liveness != nil && cfg.Equivalence != nil && cfg.EquivalencePolicy != EquivOff {
+		return nil, fmt.Errorf("core: liveness and equivalence policies are mutually exclusive")
 	}
 
 	ckptOn := cfg.CheckpointInterval > 0 || cfg.MaxCheckpoints > 0
@@ -481,6 +505,24 @@ dispatch:
 		}
 		res.Directed = d
 	}
+	if cfg.Equivalence != nil && cfg.EquivalencePolicy != EquivOff {
+		s := &EquivalenceStats{Policy: cfg.EquivalencePolicy}
+		classes := make(map[uint64]bool)
+		for i := range ran {
+			if ran[i].Region != RegionRegularReg {
+				continue
+			}
+			s.Experiments++
+			s.Candidates += uint64(ran[i].Candidates)
+			s.BenignBits += uint64(ran[i].BenignBits)
+			s.Total += RegisterSpaceBits
+			if ran[i].ClassID != 0 {
+				classes[ran[i].ClassID] = true
+			}
+		}
+		s.Classes = len(classes)
+		res.Equivalence = s
+	}
 	res.Tallies = TallyExperiments(cfg.Regions, ran)
 	res.Unclassified = CountUnapplied(ran)
 	if cfg.KeepExperiments {
@@ -560,6 +602,8 @@ func runOne(c *campaignCtx, e *Experiment, sc *expScratch) {
 		descMu     sync.Mutex
 		applied    string
 		candidates int
+		classID    uint64
+		benignBits int
 	)
 	job := cluster.Job{
 		Image:     cfg.Image,
@@ -638,11 +682,16 @@ func runOne(c *campaignCtx, e *Experiment, sc *expScratch) {
 			m.TriggerFn = func(m *vm.Machine) {
 				var d string
 				var cand int
+				var cls uint64
+				var benign int
 				switch region {
 				case RegionRegularReg:
-					if cfg.Liveness != nil {
+					switch {
+					case cfg.Equivalence != nil && cfg.EquivalencePolicy != EquivOff:
+						d, cls, benign, cand = ApplyRegisterFaultEquiv(m, faultRng, cfg.Equivalence, cfg.EquivalencePolicy)
+					case cfg.Liveness != nil:
 						d, cand = ApplyRegisterFaultDirected(m, faultRng, cfg.Liveness, cfg.LivenessPolicy)
-					} else {
+					default:
 						d, cand = ApplyRegisterFault(m, faultRng), RegisterSpaceBits
 					}
 				case RegionFPReg:
@@ -655,7 +704,7 @@ func runOne(c *campaignCtx, e *Experiment, sc *expScratch) {
 					d = ApplyStackFault(m, faultRng)
 				}
 				descMu.Lock()
-				applied, candidates = d, cand
+				applied, candidates, classID, benignBits = d, cand, cls, benign
 				descMu.Unlock()
 			}
 		}
@@ -673,6 +722,8 @@ func runOne(c *campaignCtx, e *Experiment, sc *expScratch) {
 		descMu.Lock()
 		e.Desc = applied
 		e.Candidates = candidates
+		e.ClassID = classID
+		e.BenignBits = benignBits
 		descMu.Unlock()
 	}
 }

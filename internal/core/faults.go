@@ -115,11 +115,20 @@ func ApplyRegisterFault(m *vm.Machine, r *rng.Rand) string {
 	// 8 GPRs + PC + FLAGS, 32 bits each.
 	target := r.Intn(10)
 	bit := uint(r.Intn(32))
+	return flipRegisterBit(m, target, bit)
+}
+
+// flipRegisterBit flips one bit of one register-context target (0..7 the
+// GPRs, 8 the PC, 9 the flags word) and returns the flip's description.
+// Every register-region injection path — uniform, liveness-directed, and
+// equivalence-driven — funnels through here so descriptions stay
+// identical across policies.
+func flipRegisterBit(m *vm.Machine, target int, bit uint) string {
 	switch {
 	case target < isa.NumGPR:
 		m.Regs[target] ^= 1 << bit
 		return fmt.Sprintf("%s bit %d", isa.GPRName(target), bit)
-	case target == 8:
+	case target == isa.NumGPR:
 		m.PC ^= 1 << bit
 		return fmt.Sprintf("pc bit %d", bit)
 	default:

@@ -111,6 +111,8 @@ type JournalEntry struct {
 	Outcome    string          `json:"outcome"`
 	Detail     string          `json:"detail,omitempty"`
 	Candidates int             `json:"candidates,omitempty"`
+	ClassID    uint64          `json:"class_id,omitempty"`
+	BenignBits int             `json:"benign_bits,omitempty"`
 	Forensics  *core.Forensics `json:"forensics,omitempty"`
 }
 
@@ -123,6 +125,8 @@ func entryFromExperiment(e core.Experiment) JournalEntry {
 		Outcome:    e.Outcome.String(),
 		Detail:     e.Detail,
 		Candidates: e.Candidates,
+		ClassID:    e.ClassID,
+		BenignBits: e.BenignBits,
 		Forensics:  e.Forensics,
 	}
 }
@@ -146,6 +150,8 @@ func (je JournalEntry) Experiment() (core.Experiment, error) {
 		Outcome:    outcome,
 		Detail:     je.Detail,
 		Candidates: je.Candidates,
+		ClassID:    je.ClassID,
+		BenignBits: je.BenignBits,
 		Forensics:  je.Forensics,
 	}, nil
 }

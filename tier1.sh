@@ -38,6 +38,16 @@ begin "go vet"
 go vet ./...
 end
 
+begin staticcheck
+# Blocking when the pinned binary is available (CI installs it); local
+# machines without it skip rather than fetch anything over the network.
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping (CI runs the pinned version)"
+fi
+end
+
 begin "go build"
 go build ./...
 end
