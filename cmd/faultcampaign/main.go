@@ -12,6 +12,7 @@
 //	              [-metrics-addr :9090] [-metrics-out snapshot.json]
 //	              [-status 2s] [-forensics]
 //	              [-checkpoint-interval 12500] [-checkpoints 32]
+//	              [-no-superblock]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // -metrics-addr serves live campaign telemetry over HTTP while the
@@ -36,6 +37,13 @@
 // a wall-clock optimization.  -checkpoint-interval 0 disables it;
 // -forensics also disables it, because a flight record must cover the
 // instructions leading up to the injection.
+//
+// -no-superblock runs every machine on the per-instruction interpreter
+// instead of the compiled superblock tier (internal/vm/superblock.go).
+// A fixed-seed campaign produces byte-identical tables, CSV and
+// journals with superblocks on or off; the flag exists so differential
+// CI legs can prove that equivalence and so a miscompiled block can be
+// bisected away from an interpreter bug.
 //
 // -shard i/K runs only shard i of the K-way partition of the campaign
 // plan.  Because every experiment's random stream is derived from
@@ -120,6 +128,7 @@ func run() int {
 	statusEvery := flag.Duration("status", 0, "print a one-line campaign status to stderr at this interval (e.g. 2s; 0 = off)")
 	ckptInterval := flag.Uint64("checkpoint-interval", core.DefaultCheckpointInterval, "golden-run instructions between cluster checkpoints; experiments start from the latest checkpoint before their trigger (0 = always start from t=0)")
 	ckptMax := flag.Int("checkpoints", 0, "maximum checkpoints per campaign (0 = default)")
+	noSuperblock := flag.Bool("no-superblock", false, "run the per-instruction interpreter instead of the compiled superblock tier (differential CI legs, bisection); fixed-seed output is byte-identical either way")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcampaign: ")
@@ -315,6 +324,7 @@ func run() int {
 
 			CheckpointInterval: *ckptInterval,
 			MaxCheckpoints:     *ckptMax,
+			DisableSuperblocks: *noSuperblock,
 		}
 		if *ckptInterval == 0 {
 			cfg.MaxCheckpoints = 0 // -checkpoint-interval 0 means fully off

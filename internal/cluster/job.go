@@ -74,6 +74,10 @@ type Job struct {
 	// are requeued.  The snapshot is shared read-only; any number of
 	// concurrent jobs may restore from one.
 	Restore *Snapshot
+	// DisableSuperblocks forces every rank's machine onto the
+	// per-instruction interpreter (faultcampaign -no-superblock); the
+	// differential CI legs use it to cross-check compiled execution.
+	DisableSuperblocks bool
 }
 
 // RankResult is the terminal state of one rank.
@@ -229,6 +233,9 @@ func Run(job Job) *Result {
 		} else {
 			m = vm.New(job.Image)
 		}
+		if job.DisableSuperblocks {
+			m.DisableSuperblocks()
+		}
 		m.Stop = &stopFlag
 		m.Handler = io
 		if job.Tracer != nil && r == job.TraceRank {
@@ -337,11 +344,17 @@ func Run(job Job) *Result {
 					consec++
 					// An exact deadlock (all blocked, nothing in flight)
 					// is certain after a short quiet confirmation.  A
-					// stall with packets still in flight could merely be
-					// a scheduling gap, so it needs a long quiet period —
-					// it is only genuinely stuck when a packet sits in
-					// the queue of a rank that already exited.
-					if (consec >= 2 && world.Deadlocked()) || consec >= 50 {
+					// stall with packets still in flight is only
+					// genuinely stuck when every queued packet sits at a
+					// rank that already exited (World.Stuck); after a
+					// long quiet period that evidence is trusted.  A
+					// stall that is merely a scheduling gap — the packet
+					// is queued at a live rank the host has not run yet —
+					// never fires, no matter how starved the process is:
+					// a time-based verdict here would make campaign
+					// outcomes depend on machine load.
+					if (consec >= 2 && world.Deadlocked()) ||
+						(consec >= 50 && world.Stuck()) {
 						declareHang("distributed deadlock")
 						return
 					}

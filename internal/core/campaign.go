@@ -41,16 +41,17 @@ func (g *Golden) MaxInstrs() uint64 {
 
 // RunGolden executes the fault-free reference run.
 func RunGolden(im *image.Image, ranks int, mpiCfg mpi.Config, wall time.Duration) (*Golden, error) {
-	return runGolden(im, ranks, mpiCfg, wall, nil)
+	return runGolden(im, ranks, mpiCfg, wall, nil, false)
 }
 
 // runGolden is RunGolden with an optional causality recorder attached —
 // the checkpointing campaign records message events during the reference
-// run to compute consistent cuts from.
-func runGolden(im *image.Image, ranks int, mpiCfg mpi.Config, wall time.Duration, rec *mpi.CausalityRecorder) (*Golden, error) {
+// run to compute consistent cuts from — and the campaign's interpreter
+// escape hatch.
+func runGolden(im *image.Image, ranks int, mpiCfg mpi.Config, wall time.Duration, rec *mpi.CausalityRecorder, noSB bool) (*Golden, error) {
 	res := cluster.Run(cluster.Job{
 		Image: im, Size: ranks, MPIConfig: mpiCfg, WallLimit: wall,
-		Causality: rec,
+		Causality: rec, DisableSuperblocks: noSB,
 	})
 	if res.HangDetected {
 		return nil, fmt.Errorf("core: golden run hung: %s", res.HangCause)
@@ -201,6 +202,12 @@ type Config struct {
 	// MaxCheckpoints caps how many checkpoints are captured; 0 means
 	// DefaultMaxCheckpoints when checkpointing is enabled.
 	MaxCheckpoints int
+	// DisableSuperblocks runs every machine — golden, checkpoint capture
+	// and experiment — on the per-instruction interpreter instead of the
+	// compiled superblock tier (faultcampaign -no-superblock).  Fixed-seed
+	// outcomes, CSV and journal are byte-identical either way; the flag
+	// exists so CI legs and bisection can prove exactly that.
+	DisableSuperblocks bool
 }
 
 // Tally aggregates outcomes for one region.
@@ -344,7 +351,7 @@ func Run(cfg Config) (*Result, error) {
 	if ckptOn {
 		rec = mpi.NewCausalityRecorder()
 	}
-	golden, err := runGolden(cfg.Image, cfg.Ranks, cfg.MPIConfig, cfg.WallLimit, rec)
+	golden, err := runGolden(cfg.Image, cfg.Ranks, cfg.MPIConfig, cfg.WallLimit, rec, cfg.DisableSuperblocks)
 	if err != nil {
 		return nil, err
 	}
@@ -606,12 +613,13 @@ func runOne(c *campaignCtx, e *Experiment, sc *expScratch) {
 		benignBits int
 	)
 	job := cluster.Job{
-		Image:     cfg.Image,
-		Size:      cfg.Ranks,
-		MPIConfig: cfg.MPIConfig,
-		Budget:    c.budget,
-		WallLimit: cfg.WallLimit,
-		Metrics:   cfg.Metrics,
+		Image:              cfg.Image,
+		Size:               cfg.Ranks,
+		MPIConfig:          cfg.MPIConfig,
+		Budget:             c.budget,
+		WallLimit:          cfg.WallLimit,
+		Metrics:            cfg.Metrics,
+		DisableSuperblocks: cfg.DisableSuperblocks,
 	}
 
 	// The flight recorder rides the existing Tracer hook on the injected

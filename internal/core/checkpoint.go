@@ -194,11 +194,12 @@ func buildCheckpoints(cfg *Config, golden *Golden, events []mpi.Event) *Checkpoi
 		},
 	}
 	res := cluster.Run(cluster.Job{
-		Image:       cfg.Image,
-		Size:        cfg.Ranks,
-		MPIConfig:   cfg.MPIConfig.WithQueueHeadroom(checkpointQueueHeadroom),
-		WallLimit:   cfg.WallLimit,
-		Checkpoints: spec,
+		Image:              cfg.Image,
+		Size:               cfg.Ranks,
+		MPIConfig:          cfg.MPIConfig.WithQueueHeadroom(checkpointQueueHeadroom),
+		WallLimit:          cfg.WallLimit,
+		Checkpoints:        spec,
+		DisableSuperblocks: cfg.DisableSuperblocks,
 	})
 	if !matchesGolden(res, golden) {
 		return nil

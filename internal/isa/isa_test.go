@@ -151,3 +151,31 @@ func TestTagConstants(t *testing.T) {
 		t.Fatal("tag encoding must follow the x87 layout")
 	}
 }
+
+// TestAluiBase pins the immediate->register ALU pairing table: every
+// immediate form maps to its register-register base operation, and every
+// other opcode (including out-of-range values) maps to OpInvalid.
+func TestAluiBase(t *testing.T) {
+	want := map[Op]Op{
+		OpAddi: OpAdd,
+		OpMuli: OpMul,
+		OpAndi: OpAnd,
+		OpOri:  OpOr,
+		OpXori: OpXor,
+		OpShli: OpShl,
+		OpShri: OpShr,
+		OpSari: OpSar,
+	}
+	for op := Op(0); op < Op(NumOpcodes); op++ {
+		base, ok := want[op]
+		if !ok {
+			base = OpInvalid
+		}
+		if got := op.AluiBase(); got != base {
+			t.Errorf("%s.AluiBase() = %s, want %s", op, got, base)
+		}
+	}
+	if got := Op(255).AluiBase(); got != OpInvalid {
+		t.Errorf("Op(255).AluiBase() = %s, want invalid", got)
+	}
+}

@@ -180,6 +180,31 @@ func (op Op) Valid() bool {
 	return op > OpInvalid && op < opMax
 }
 
+// aluiBase maps each immediate ALU opcode to the register-register
+// operation it applies.  Entries for every other opcode are OpInvalid.
+var aluiBase = [opMax]Op{
+	OpAddi: OpAdd,
+	OpMuli: OpMul,
+	OpAndi: OpAnd,
+	OpOri:  OpOr,
+	OpXori: OpXor,
+	OpShli: OpShl,
+	OpShri: OpShr,
+	OpSari: OpSar,
+}
+
+// AluiBase returns the register-register ALU operation of an immediate
+// ALU opcode (OpAddi -> OpAdd, OpShli -> OpShl, ...), or OpInvalid when
+// op has no immediate/register pairing.  It is a table lookup so
+// interpreters can resolve the pairing once per decode instead of
+// re-dispatching on every execution.
+func (op Op) AluiBase() Op {
+	if int(op) < len(aluiBase) {
+		return aluiBase[op]
+	}
+	return OpInvalid
+}
+
 // String returns the assembler mnemonic of the opcode.
 func (op Op) String() string {
 	if int(op) < len(opTable) && opTable[op].name != "" {

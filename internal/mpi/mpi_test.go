@@ -257,6 +257,38 @@ func TestDeadlockedAndStalled(t *testing.T) {
 	}
 }
 
+func TestStuck(t *testing.T) {
+	w := NewWorld(2, Config{})
+	if w.Stuck() {
+		t.Fatal("fresh world must not be stuck")
+	}
+	w.procs[0].setState(StateBlocked)
+	w.procs[1].setState(StateBlocked)
+	if !w.Stuck() {
+		t.Fatal("all blocked, nothing in flight: stuck (== deadlocked)")
+	}
+
+	// A packet queued at a live blocked rank is a scheduling gap, not a
+	// hang: rank 1 will drain its queue whenever it next runs.
+	w.inflight.Add(1)
+	w.procs[1].in <- []byte{0}
+	if w.Stuck() {
+		t.Fatal("packet at a live blocked rank must not count as stuck")
+	}
+
+	// The same packet parked at a finished rank can never be pulled.
+	w.procs[1].setState(StateFinished)
+	if !w.Stuck() {
+		t.Fatal("packet at a finished rank is permanently stuck")
+	}
+
+	// Any running rank vetoes the verdict entirely.
+	w.procs[0].setState(StateRunning)
+	if w.Stuck() {
+		t.Fatal("a running rank must veto stuck")
+	}
+}
+
 func TestAPIArgumentChecks(t *testing.T) {
 	w := NewWorld(2, Config{})
 	p := w.Proc(0)

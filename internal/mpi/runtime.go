@@ -190,6 +190,35 @@ func (w *World) Stalled() bool {
 	return sawBlocked
 }
 
+// Stuck reports whether a stall with packets still in flight is provably
+// permanent: every queued packet is parked at a rank that has already
+// finished, so nothing will ever pull it.  A packet queued at a live
+// blocked rank does NOT count — pull drains the queue whenever that rank
+// next gets CPU, so that shape is only a scheduling gap, however long the
+// scheduler leaves the rank off-core.  This distinction is what keeps the
+// watchdog's in-flight hang verdict load-independent: fixed-seed campaign
+// output must be byte-identical no matter how slowly the host schedules
+// goroutines.  With an external transport, packets can sit in socket
+// buffers outside any inspectable queue, so Stuck stays conservatively
+// false and the wall-clock limit is the fallback there.
+func (w *World) Stuck() bool {
+	if !w.Stalled() {
+		return false
+	}
+	if w.inflight.Load() == 0 {
+		return true
+	}
+	if w.transport != nil {
+		return false
+	}
+	for _, p := range w.procs {
+		if len(p.in) > 0 && p.state.Load() != StateFinished {
+			return false
+		}
+	}
+	return true
+}
+
 func (p *Proc) setState(s int32) {
 	p.state.Store(s)
 	p.w.progress.Add(1)

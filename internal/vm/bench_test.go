@@ -40,10 +40,28 @@ func benchImage(b *testing.B) *image.Image {
 	return im
 }
 
-// BenchmarkStep measures per-retired-instruction interpreter cost: one
-// benchmark op is one instruction.  A campaign's wall-clock is almost
-// entirely N_experiments x golden_instrs x this number.
+// BenchmarkStep measures per-retired-instruction cost of the
+// per-instruction interpreter (superblocks disabled): one benchmark op is
+// one instruction.  This is the floor the -no-superblock escape hatch and
+// the bail/dirty-slot fallback paths run at.
 func BenchmarkStep(b *testing.B) {
+	im := benchImage(b)
+	m := New(im)
+	m.DisableSuperblocks()
+	m.Handler = &testHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	out := m.Run(uint64(b.N))
+	if out.Reason != StopBudget {
+		b.Fatalf("unexpected stop: %+v", out)
+	}
+}
+
+// BenchmarkSuperblockRun is BenchmarkStep through the compiled superblock
+// tier (the default execution mode): one benchmark op is one retired
+// instruction.  A campaign's wall-clock is almost entirely
+// N_experiments x golden_instrs x this number.
+func BenchmarkSuperblockRun(b *testing.B) {
 	im := benchImage(b)
 	m := New(im)
 	m.Handler = &testHandler{}

@@ -90,26 +90,7 @@ func (m *Machine) Step() *Trap {
 		if !ok1 || !ok2 {
 			return m.ill("alui regs")
 		}
-		var op isa.Op
-		switch in.Op {
-		case isa.OpAddi:
-			op = isa.OpAdd
-		case isa.OpMuli:
-			op = isa.OpMul
-		case isa.OpAndi:
-			op = isa.OpAnd
-		case isa.OpOri:
-			op = isa.OpOr
-		case isa.OpXori:
-			op = isa.OpXor
-		case isa.OpShli:
-			op = isa.OpShl
-		case isa.OpShri:
-			op = isa.OpShr
-		case isa.OpSari:
-			op = isa.OpSar
-		}
-		v, t := m.alu(op, m.Regs[ra], uint32(in.Imm))
+		v, t := m.alu(in.Op.AluiBase(), m.Regs[ra], uint32(in.Imm))
 		if t != nil {
 			return t
 		}

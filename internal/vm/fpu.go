@@ -21,15 +21,19 @@ import (
 // indefinite is the x87 QNaN floating-point indefinite value.
 var indefinite = math.Float64frombits(0xFFF8000000000000)
 
+// classify runs on every FP stack write, so it reads the class straight
+// off the exponent field: ±0 is TagZero, an all-ones exponent (NaN, Inf)
+// or an all-zeros exponent with a nonzero fraction (denormal) is
+// TagSpecial, anything else is TagValid.
 func classify(v float64) int {
-	switch {
-	case v == 0:
+	b := math.Float64bits(v) &^ (1 << 63)
+	if b == 0 {
 		return isa.TagZero
-	case math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) < 2.2250738585072014e-308:
-		return isa.TagSpecial // NaN, Inf or denormal
-	default:
-		return isa.TagValid
 	}
+	if e := b >> 52; e == 0 || e == 0x7FF {
+		return isa.TagSpecial // NaN, Inf or denormal
+	}
+	return isa.TagValid
 }
 
 // fpush pushes v onto the FP stack.
@@ -50,10 +54,20 @@ func (m *Machine) fpop() {
 	e.SetTop((top + 1) & 7)
 }
 
-// fget reads st(i), honouring the tag word.
+// fget reads st(i), honouring the tag word.  The valid-tag case stays
+// small enough to inline into the interpreter loops; the reconstruction
+// of zero/special/empty slots is outlined.
 func (m *Machine) fget(i int) float64 {
 	e := &m.FP
 	p := (e.Top() + i) & 7
+	if e.Tag(p) == isa.TagValid {
+		return e.Regs[p]
+	}
+	return e.reconstruct(p)
+}
+
+// reconstruct materializes the value of a slot whose tag is not "valid".
+func (e *FPEnv) reconstruct(p int) float64 {
 	switch e.Tag(p) {
 	case isa.TagEmpty:
 		return indefinite

@@ -12,6 +12,7 @@
 package vm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -175,6 +176,22 @@ type Machine struct {
 	pre []isa.Instr
 	// textDirty marks predecode slots overwritten on this machine.
 	textDirty []uint64
+
+	// Superblock tier (see superblock.go).  sbProg is the image's shared
+	// compiled uop program; sbEnd is the per-slot run-end table, shared
+	// until the first text write clones it (sbEndOwned).  nil sbProg
+	// forces per-instruction interpretation.
+	sbProg     []uop
+	sbEnd      []uint32
+	sbEndOwned bool
+
+	// loadSeg/storeSeg remember the segment the last slow-path load and
+	// store resolved to; the hot accessors try the remembered segment's
+	// backed range first and fall back to the full span walk.  Pure
+	// caches of this machine's own segments — never captured, never
+	// aliased across machines.
+	loadSeg  *segment
+	storeSeg *segment
 }
 
 // segment is one region of the guest address space.  The backing store is
@@ -271,7 +288,10 @@ func New(im *image.Image) *Machine {
 	m.bss = segment{base: im.BSSBase, length: im.BSSSize, writable: true}
 	m.heap = segment{base: im.HeapBase, length: im.HeapLimit - im.HeapBase, writable: true}
 	m.stack = segment{base: im.StackBase(), length: im.StackSize, writable: true}
-	m.pre = predecodeFor(im)
+	p := predecodeFor(im)
+	m.pre = p.instrs
+	m.sbProg = p.prog
+	m.sbEnd = p.end
 	m.PC = im.Entry
 	m.Regs[isa.SP] = image.StackTop
 	m.Regs[isa.FP] = image.StackTop
@@ -301,13 +321,23 @@ type RunResult struct {
 //
 // The outer loop only handles events — budget exhaustion, stop polling,
 // trigger firing — at precomputed instruction-count boundaries; between
-// boundaries the inner loop retires instructions with a single compare of
-// overhead.  The event checks run at exactly the same instruction counts
-// as a per-instruction check would (stop is polled whenever Instrs is a
-// multiple of 4096, the trigger fires just before the instruction at
-// which Instrs == TriggerAt executes), so campaign outcomes are
-// bit-identical to the straightforward loop.
+// boundaries instructions retire through the superblock tier
+// (superblock.go) when compiled state is available, or the
+// per-instruction Step loop otherwise.  The event checks run at exactly
+// the same instruction counts in both modes (stop is polled on entry to
+// Run and whenever Instrs is a multiple of 4096, the trigger fires just
+// before the instruction at which Instrs == TriggerAt executes), so
+// campaign outcomes are bit-identical across tiers.
+//
+// Stop latency bound: a Stop set before Run is entered is honoured
+// before any instruction retires; a Stop set while Run is executing is
+// honoured after at most 4096 further instructions (the next poll
+// boundary).  TestRunStopLatency pins both halves of the bound.
 func (m *Machine) Run(budget uint64) RunResult {
+	if m.Stop != nil && m.Stop.Load() {
+		return RunResult{Reason: StopTrap,
+			Trap: &Trap{Kind: TrapKilled, PC: m.PC, Msg: "killed by harness"}}
+	}
 	for {
 		if budget != 0 && m.Instrs >= budget {
 			return RunResult{Reason: StopBudget}
@@ -322,6 +352,11 @@ func (m *Machine) Run(budget uint64) RunResult {
 			m.TriggerFn = nil
 			if fn != nil {
 				fn(m)
+				// fn may have corrupted SP (register-fault injection);
+				// probe MinSP here so both execution tiers observe the
+				// corrupted value even if the next instruction
+				// overwrites it.
+				m.updateMinSP()
 			}
 			continue // fn may re-arm the trigger or alter state; recompute
 		}
@@ -338,6 +373,12 @@ func (m *Machine) Run(budget uint64) RunResult {
 			if poll := (m.Instrs | 4095) + 1; poll < limit {
 				limit = poll
 			}
+		}
+		if m.sbProg != nil && m.pre != nil {
+			if t := m.runBlocks(limit); t != nil {
+				return RunResult{Reason: StopTrap, Trap: t}
+			}
+			continue
 		}
 		for m.Instrs < limit {
 			if t := m.Step(); t != nil {
@@ -390,28 +431,79 @@ func (m *Machine) span(addr uint32, n int, write bool) ([]byte, *Trap) {
 	return s.view(off, n), nil
 }
 
+// loadFast returns the backing bytes for an n-byte read at addr when it
+// lands wholly inside the backed prefix of the segment the last slow
+// load resolved to; any miss (other segment, unbacked or partially
+// backed range, wrapped offset) returns nil and the caller walks the
+// slow path, which refreshes the cache.  Reading a shared backing is
+// fine — only writes must copy first.
+func (m *Machine) loadFast(addr uint32, n int) []byte {
+	if s := m.loadSeg; s != nil {
+		if off := addr - s.base; uint64(off)+uint64(n) <= uint64(len(s.bytes)) {
+			return s.bytes[off : int(off)+n]
+		}
+	}
+	return nil
+}
+
+// storeFast is loadFast for writes: additionally the segment must be
+// writable and privately backed (a shared backing aliases a snapshot or
+// the image and must be copied by the slow path first).
+func (m *Machine) storeFast(addr uint32, n int) []byte {
+	if s := m.storeSeg; s != nil && s.writable && !s.shared {
+		if off := addr - s.base; uint64(off)+uint64(n) <= uint64(len(s.bytes)) {
+			return s.bytes[off : int(off)+n]
+		}
+	}
+	return nil
+}
+
+// loadSpan is the slow read path: a full span walk plus cache refresh.
+func (m *Machine) loadSpan(addr uint32, n int) ([]byte, *Trap) {
+	b, t := m.span(addr, n, false)
+	if t == nil {
+		m.loadSeg = m.segFor(addr)
+	}
+	return b, t
+}
+
+// storeSpan is the slow write path: a full span walk plus cache refresh.
+func (m *Machine) storeSpan(addr uint32, n int) ([]byte, *Trap) {
+	b, t := m.span(addr, n, true)
+	if t == nil {
+		m.storeSeg = m.segFor(addr)
+	}
+	return b, t
+}
+
 // Load32 reads a 32-bit little-endian word.
 func (m *Machine) Load32(addr uint32) (uint32, *Trap) {
-	b, t := m.span(addr, 4, false)
-	if t != nil {
-		return 0, t
+	b := m.loadFast(addr, 4)
+	if b == nil {
+		var t *Trap
+		if b, t = m.loadSpan(addr, 4); t != nil {
+			return 0, t
+		}
 	}
 	if m.Tracer != nil {
 		m.Tracer.Load(addr, 4)
 	}
-	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+	return binary.LittleEndian.Uint32(b), nil
 }
 
 // Store32 writes a 32-bit little-endian word.
 func (m *Machine) Store32(addr, v uint32) *Trap {
-	b, t := m.span(addr, 4, true)
-	if t != nil {
-		return t
+	b := m.storeFast(addr, 4)
+	if b == nil {
+		var t *Trap
+		if b, t = m.storeSpan(addr, 4); t != nil {
+			return t
+		}
 	}
 	if m.Tracer != nil {
 		m.Tracer.Store(addr, 4)
 	}
-	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	binary.LittleEndian.PutUint32(b, v)
 	return nil
 }
 
@@ -442,33 +534,32 @@ func (m *Machine) Store8(addr uint32, v byte) *Trap {
 
 // LoadF64 reads a float64.
 func (m *Machine) LoadF64(addr uint32) (float64, *Trap) {
-	b, t := m.span(addr, 8, false)
-	if t != nil {
-		return 0, t
+	b := m.loadFast(addr, 8)
+	if b == nil {
+		var t *Trap
+		if b, t = m.loadSpan(addr, 8); t != nil {
+			return 0, t
+		}
 	}
 	if m.Tracer != nil {
 		m.Tracer.Load(addr, 8)
 	}
-	var u uint64
-	for i := 7; i >= 0; i-- {
-		u = u<<8 | uint64(b[i])
-	}
-	return math.Float64frombits(u), nil
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
 }
 
 // StoreF64 writes a float64.
 func (m *Machine) StoreF64(addr uint32, v float64) *Trap {
-	b, t := m.span(addr, 8, true)
-	if t != nil {
-		return t
+	b := m.storeFast(addr, 8)
+	if b == nil {
+		var t *Trap
+		if b, t = m.storeSpan(addr, 8); t != nil {
+			return t
+		}
 	}
 	if m.Tracer != nil {
 		m.Tracer.Store(addr, 8)
 	}
-	u := math.Float64bits(v)
-	for i := 0; i < 8; i++ {
-		b[i] = byte(u >> (8 * uint(i)))
-	}
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
 	return nil
 }
 

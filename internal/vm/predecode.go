@@ -22,17 +22,35 @@ import (
 // Likewise a PC that is not slot-aligned (possible after a PC bit flip)
 // falls back to byte decoding.
 
-// predecodeFor returns the image's shared predecoded text table.
-func predecodeFor(im *image.Image) []isa.Instr {
+// predecoded is everything derived from an image's text bytes: the
+// decoded instruction table Step fetches from, and the superblock tier
+// compiled over it (see superblock.go).  One instance is built per image
+// and shared immutably by every machine; per-machine deviations (text
+// corruption) live in the dirty bitmap and the machine-local run-end
+// clone, never here.
+type predecoded struct {
+	instrs []isa.Instr
+	prog   []uop
+	end    []uint32
+}
+
+// predecodeFor returns the image's shared predecode + superblock tables.
+func predecodeFor(im *image.Image) *predecoded {
 	return im.Predecoded(func() any {
-		return isa.DecodeAll(im.Text)
-	}).([]isa.Instr)
+		instrs := isa.DecodeAll(im.Text)
+		prog, end := compileSuperblocks(instrs)
+		return &predecoded{instrs: instrs, prog: prog, end: end}
+	}).(*predecoded)
 }
 
 // DisablePredecode forces the machine back onto the per-instruction
 // byte-decode fetch path.  The differential tests use it to check that
-// predecoded execution is semantically invisible.
-func (m *Machine) DisablePredecode() { m.pre = nil }
+// predecoded execution is semantically invisible.  Superblocks are
+// compiled from the predecoded table, so they go with it.
+func (m *Machine) DisablePredecode() {
+	m.pre = nil
+	m.DisableSuperblocks()
+}
 
 // markTextDirty records that text bytes [off, off+n) were overwritten, so
 // the predecode slots covering them must be byte-decoded from now on.
@@ -47,6 +65,7 @@ func (m *Machine) markTextDirty(off uint32, n int) {
 	last := (off + uint32(n) - 1) / isa.InstrBytes
 	for s := off / isa.InstrBytes; s <= last; s++ {
 		m.textDirty[s/64] |= 1 << (s % 64)
+		m.sbInvalidate(s) // no compiled run may execute into this slot
 	}
 }
 

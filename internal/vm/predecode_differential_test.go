@@ -1,11 +1,12 @@
 package vm_test
 
-// Differential check for the predecode fetch path: executing through the
-// shared predecoded instruction table must be indistinguishable,
-// instruction for instruction, from byte-decoding the text segment on
-// every fetch — on clean runs of all three guest applications and on
+// Differential check for the execution tiers: the compiled superblock
+// tier, the per-instruction interpreter over the predecoded table, and
+// full byte-decode on every fetch must be indistinguishable, instruction
+// for instruction — on clean runs of all three guest applications and on
 // runs whose text segment is corrupted mid-flight by the injector's
-// RawWrite (the case the dirty-slot bitmap exists for).
+// RawWrite (the case the dirty-slot bitmap and block invalidation exist
+// for).
 
 import (
 	"bytes"
@@ -45,10 +46,17 @@ type diffRun struct {
 	hung   bool
 }
 
-// runDiff executes the app once, optionally with byte-decode forced and
+// Execution modes under test.
+const (
+	modeSuperblock = iota // compiled superblock tier (the default)
+	modeInterp            // per-instruction Step over the predecoded table
+	modeByteDecode        // full byte-decode on every fetch
+)
+
+// runDiff executes the app once in the given execution mode, optionally
 // with a set of text bits flipped on rank 1 after a fixed instruction
 // count.
-func runDiff(t *testing.T, name string, byteDecode bool, flipText bool) diffRun {
+func runDiff(t *testing.T, name string, mode int, flipText bool) diffRun {
 	t.Helper()
 	a, err := apps.Get(name)
 	if err != nil {
@@ -66,7 +74,10 @@ func runDiff(t *testing.T, name string, byteDecode bool, flipText bool) diffRun 
 		Tracer:    tr,
 		TraceRank: 1,
 		Setup: func(rank int, m *vm.Machine, _ *mpi.Proc) {
-			if byteDecode {
+			switch mode {
+			case modeInterp:
+				m.DisableSuperblocks()
+			case modeByteDecode:
 				m.DisablePredecode()
 			}
 			if flipText && rank == 1 {
@@ -147,16 +158,18 @@ func (a diffRun) compare(t *testing.T, b diffRun, label string) {
 
 func TestPredecodeDifferential(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs all three guest apps twice")
+		t.Skip("runs all three guest apps three times")
 	}
 	for _, name := range []string{"wavetoy", "minimd", "minicam"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			pre := runDiff(t, name, false, false)
-			raw := runDiff(t, name, true, false)
-			pre.compare(t, raw, "clean")
-			if pre.fetch == 0 {
+			sb := runDiff(t, name, modeSuperblock, false)
+			interp := runDiff(t, name, modeInterp, false)
+			raw := runDiff(t, name, modeByteDecode, false)
+			sb.compare(t, interp, "clean superblock-vs-interp")
+			sb.compare(t, raw, "clean superblock-vs-bytedecode")
+			if sb.fetch == 0 {
 				t.Fatal("tracer saw no fetches; test is vacuous")
 			}
 		})
@@ -165,15 +178,17 @@ func TestPredecodeDifferential(t *testing.T) {
 
 func TestPredecodeDifferentialAfterTextFlip(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs all three guest apps twice")
+		t.Skip("runs all three guest apps three times")
 	}
 	for _, name := range []string{"wavetoy", "minimd", "minicam"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			pre := runDiff(t, name, false, true)
-			raw := runDiff(t, name, true, true)
-			pre.compare(t, raw, "text-flip")
+			sb := runDiff(t, name, modeSuperblock, true)
+			interp := runDiff(t, name, modeInterp, true)
+			raw := runDiff(t, name, modeByteDecode, true)
+			sb.compare(t, interp, "text-flip superblock-vs-interp")
+			sb.compare(t, raw, "text-flip superblock-vs-bytedecode")
 		})
 	}
 }

@@ -88,9 +88,16 @@ func (s *Snapshot) NewMachine() *Machine {
 	m.bss = segment{base: im.BSSBase, length: im.BSSSize, bytes: s.segs[2], writable: true, shared: true}
 	m.heap = segment{base: im.HeapBase, length: im.HeapLimit - im.HeapBase, bytes: s.segs[3], writable: true, shared: true}
 	m.stack = segment{base: im.StackBase(), length: im.StackSize, bytes: s.segs[4], writable: true, shared: true}
-	m.pre = predecodeFor(im)
+	// Compiled superblock state is never captured: it is re-derived from
+	// the image's shared tables, with the snapshot's dirty bitmap
+	// re-applied so runs still refuse to execute into overwritten slots.
+	p := predecodeFor(im)
+	m.pre = p.instrs
+	m.sbProg = p.prog
+	m.sbEnd = p.end
 	if s.textDirty != nil {
 		m.textDirty = append([]uint64(nil), s.textDirty...)
+		m.rebuildSBDirty()
 	}
 	m.Regs = s.regs
 	m.PC = s.pc
