@@ -7,6 +7,7 @@
 //	faultcampaign [-app wavetoy|minimd|minicam|all] [-n 500] [-seed 1]
 //	              [-regions reg,fp,...] [-csv] [-quiet]
 //	              [-shard i/K] [-journal path] [-resume]
+//	              [-worker http://host:8700] [-worker-name w1]
 //	              [-liveness live|dead] [-equivalence annotate|prune|audit]
 //	              [-predict]
 //	              [-metrics-addr :9090] [-metrics-out snapshot.json]
@@ -14,6 +15,17 @@
 //	              [-checkpoint-interval 12500] [-checkpoints 32]
 //	              [-no-superblock]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
+//
+// -worker turns the process into a campaign engine for a faultcoord
+// control plane: it pulls bounded leases from the coordinator at the
+// given URL, runs their experiments (the campaign spec — app, seed,
+// injections, regions, equivalence policy — arrives with each lease),
+// streams the journal segments back over HTTP, and exits when the
+// coordinator reports the campaign complete.  A worker holds its leases
+// by heartbeat; one that dies or stalls simply forfeits them to other
+// workers.  Worker mode takes the campaign definition from the
+// coordinator, so it refuses the local campaign flags (-shard, -journal,
+// -resume, -app and the rest) rather than silently ignoring them.
 //
 // -metrics-addr serves live campaign telemetry over HTTP while the
 // campaign runs (/metrics in the Prometheus text format, /metrics.json
@@ -96,6 +108,7 @@ import (
 
 	"mpifault/internal/analysis"
 	"mpifault/internal/apps"
+	"mpifault/internal/coord"
 	"mpifault/internal/core"
 	"mpifault/internal/report"
 	"mpifault/internal/sampling"
@@ -104,6 +117,52 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// runWorker is the -worker mode: a lease-pulling campaign engine for a
+// faultcoord control plane.  It returns when the coordinator reports
+// the campaign complete (exit 0) or on SIGINT/SIGTERM (exit 130); lost
+// leases are not an error — another worker re-runs them.
+func runWorker(url, name string, parallelism int, quiet bool) int {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; ok {
+			close(stop)
+		}
+	}()
+
+	opt := coord.WorkerOptions{
+		URL:         strings.TrimRight(url, "/"),
+		Name:        name,
+		Parallelism: parallelism,
+		Stop:        stop,
+	}
+	if !quiet {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "worker %s: %s\n", name, fmt.Sprintf(format, args...))
+		}
+	}
+	if err := coord.RunWorker(opt); err != nil {
+		log.Print(err)
+		return 1
+	}
+	select {
+	case <-stop:
+		return 130
+	default:
+		return 0
+	}
 }
 
 func run() int {
@@ -129,9 +188,31 @@ func run() int {
 	ckptInterval := flag.Uint64("checkpoint-interval", core.DefaultCheckpointInterval, "golden-run instructions between cluster checkpoints; experiments start from the latest checkpoint before their trigger (0 = always start from t=0)")
 	ckptMax := flag.Int("checkpoints", 0, "maximum checkpoints per campaign (0 = default)")
 	noSuperblock := flag.Bool("no-superblock", false, "run the per-instruction interpreter instead of the compiled superblock tier (differential CI legs, bisection); fixed-seed output is byte-identical either way")
+	workerURL := flag.String("worker", "", "run as a lease-pulling worker for the faultcoord coordinator at this URL; the campaign spec comes from the coordinator")
+	workerName := flag.String("worker-name", "", "worker identity in the coordinator's cluster view (default host-pid)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcampaign: ")
+
+	if *workerURL != "" {
+		// Worker mode takes its whole campaign definition from the
+		// coordinator; combining it with local campaign flags would
+		// silently ignore one side, so refuse loudly instead.
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "shard", "journal", "resume", "app", "n", "seed", "regions",
+				"csv", "liveness", "equivalence", "predict", "forensics",
+				"checkpoint-interval", "checkpoints":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			log.Printf("-worker mode takes the campaign spec from the coordinator; drop %s", strings.Join(conflicts, ", "))
+			return 1
+		}
+		return runWorker(*workerURL, *workerName, *par, *quiet)
+	}
 
 	if *forensics && *ckptInterval > 0 {
 		ckptFlagSet := false

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	faultmerge [-csv] shard0.jsonl shard1.jsonl shard2.jsonl ...
+//	faultmerge [-csv] -coord spool/
 //
 // The journals must come from `faultcampaign -shard i/K -journal ...`
 // runs of the same campaign (same app, seed, injections, regions).  The
@@ -12,6 +13,12 @@
 // a single-process campaign would: the merged CSV (and table) is byte
 // identical to `faultcampaign -csv` at the same seed — the determinism
 // gate CI enforces with a plain diff.
+//
+// -coord merges a faultcoord spool directory instead: one journal file
+// per lease segment (stolen leases leave one file per generation, whose
+// intact lines the merge resolves as duplicates; torn tails from killed
+// workers are tolerated).  The same disjoint/complete validation and
+// byte-identity guarantee apply.
 //
 // Exit status: 0 on a clean merge, 1 when the journals are incomplete,
 // inconsistent, or contain experiments that failed to classify.
@@ -34,16 +41,27 @@ func main() {
 func run() int {
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the table layout")
 	quiet := flag.Bool("quiet", false, "suppress the merge summary on stderr")
+	coordDir := flag.String("coord", "", "merge a faultcoord spool directory (every *.jsonl lease segment) instead of listed journals")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultmerge: ")
 
 	paths := flag.Args()
-	if len(paths) == 0 {
-		log.Print("usage: faultmerge [-csv] journal.jsonl ...")
+	var m *report.Merged
+	var err error
+	switch {
+	case *coordDir != "":
+		if len(paths) > 0 {
+			log.Print("-coord and journal arguments are mutually exclusive")
+			return 1
+		}
+		m, err = report.MergeDir(*coordDir)
+	case len(paths) == 0:
+		log.Print("usage: faultmerge [-csv] journal.jsonl ... | faultmerge [-csv] -coord spool/")
 		return 1
+	default:
+		m, err = report.MergeJournals(paths)
 	}
-	m, err := report.MergeJournals(paths)
 	if err != nil {
 		log.Print(err)
 		return 1

@@ -1,0 +1,235 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mpifault/internal/apps"
+	"mpifault/internal/core"
+	"mpifault/internal/image"
+	"mpifault/internal/report"
+	"mpifault/internal/telemetry"
+)
+
+func buildWavetoy(t testing.TB) (*image.Image, int) {
+	t.Helper()
+	a, err := apps.Get("wavetoy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := a.Build(a.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im, a.Default.Ranks
+}
+
+// singleProcessCSV runs the reference campaign in-process — the bytes
+// every cluster configuration must reproduce exactly.
+func singleProcessCSV(t *testing.T, im *image.Image, ranks, injections int, seed uint64, regions []core.Region) []byte {
+	t.Helper()
+	res, err := core.Run(core.Config{
+		Image: im, Ranks: ranks, Injections: injections, Seed: seed, Regions: regions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	report.WriteCampaignCSV(&buf, "wavetoy", res)
+	return buf.Bytes()
+}
+
+func waitDone(t *testing.T, co *Coordinator, timeout time.Duration) {
+	t.Helper()
+	select {
+	case <-co.Done():
+	case <-time.After(timeout):
+		t.Fatalf("campaign did not finish within %v: %+v", timeout, co.Status())
+	}
+}
+
+// TestCoordinatorSmoke is the tier-1 cluster gate: a coordinator behind
+// a real HTTP server, the campaign submitted over the wire, two
+// in-process workers pulling leases, and the final CSV compared byte for
+// byte against the single-process run.
+func TestCoordinatorSmoke(t *testing.T) {
+	im, ranks := buildWavetoy(t)
+	regions := []core.Region{core.RegionRegularReg, core.RegionMessage}
+	const injections = 3
+	const seed = 5
+	want := singleProcessCSV(t, im, ranks, injections, seed, regions)
+
+	co := New(Config{Metrics: telemetry.New()})
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+
+	spec, err := json.Marshal(Spec{
+		App: "wavetoy", Injections: injections, Seed: seed,
+		Regions: []string{"reg", "message"}, LeaseSize: 2, LeaseTTLMillis: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/api/campaign", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	stop := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(stop) })
+	for _, name := range []string{"w1", "w2"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if err := RunWorker(WorkerOptions{
+				URL: srv.URL, Name: name, Poll: 25 * time.Millisecond, Stop: stop,
+			}); err != nil {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}(name)
+	}
+
+	waitDone(t, co, 3*time.Minute)
+	csv, unclassified, err := co.ResultCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unclassified != 0 {
+		t.Fatalf("%d unclassified experiments", unclassified)
+	}
+	if !bytes.Equal(csv, want) {
+		t.Fatalf("cluster CSV differs from single-process run:\n--- cluster\n%s--- single\n%s", csv, want)
+	}
+	st := co.Status()
+	if st.State != "complete" || len(st.Workers) != 2 {
+		t.Fatalf("final status %+v", st)
+	}
+}
+
+// TestCoordinatorWorkerDeathByteIdentity is the acceptance gate: three
+// workers, one dies mid-campaign after uploading half a lease, the
+// survivors steal the lease and re-run it, and the final CSV is still
+// byte-identical to the single-process run — with the spool directory
+// independently reconstructing the same bytes via faultmerge's path.
+func TestCoordinatorWorkerDeathByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker-death integration test is not short")
+	}
+	im, ranks := buildWavetoy(t)
+	regions := []core.Region{core.RegionRegularReg, core.RegionMessage}
+	const injections = 4
+	const seed = 11
+	want := singleProcessCSV(t, im, ranks, injections, seed, regions)
+
+	spool := t.TempDir()
+	co := New(Config{Metrics: telemetry.New(), Dir: spool})
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	if err := co.Submit(Spec{
+		App: "wavetoy", Injections: injections, Seed: seed,
+		Regions: []string{"reg", "message"}, LeaseSize: 2, LeaseTTLMillis: 1_000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker grabs the first lease over the wire, uploads a
+	// genuine half-segment, and vanishes without ever heartbeating: the
+	// lease must expire, its partial results must survive, and the
+	// re-run must agree with them.
+	g3, ok, err := co.Acquire("doomed")
+	if err != nil || !ok {
+		t.Fatalf("doomed acquire: ok=%v err=%v", ok, err)
+	}
+	plan := core.Plan{Regions: regions, Injections: injections}
+	partialRes, err := core.Run(core.Config{
+		Image: im, Ranks: ranks, Injections: injections, Seed: seed, Regions: regions,
+		Entries: plan.Range(g3.Start, g3.Start+1), KeepExperiments: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg bytes.Buffer
+	enc := json.NewEncoder(&seg)
+	if err := enc.Encode(report.CampaignHeader("wavetoy", core.Config{
+		Ranks: ranks, Injections: injections, Regions: regions, Seed: seed,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if len(partialRes.Experiments) != 1 {
+		t.Fatalf("partial run produced %d experiments, want 1", len(partialRes.Experiments))
+	}
+	if err := enc.Encode(report.EntryFromExperiment(partialRes.Experiments[0])); err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("%s/api/segment?lease=%d&gen=%d&worker=doomed&offset=0", srv.URL, g3.Lease, g3.Gen)
+	resp, err := http.Post(url, "application/jsonl", &seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("doomed upload: %s", resp.Status)
+	}
+	// SIGKILL equivalent: no renew, no complete, no further traffic.
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	stop := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(stop) })
+	for _, name := range []string{"w1", "w2"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if err := RunWorker(WorkerOptions{
+				URL: srv.URL, Name: name, Poll: 25 * time.Millisecond, Stop: stop,
+			}); err != nil {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}(name)
+	}
+
+	waitDone(t, co, 5*time.Minute)
+	csv, unclassified, err := co.ResultCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unclassified != 0 {
+		t.Fatalf("%d unclassified experiments", unclassified)
+	}
+	if !bytes.Equal(csv, want) {
+		t.Fatalf("cluster CSV differs from single-process run after worker death:\n--- cluster\n%s--- single\n%s", csv, want)
+	}
+	st := co.Status()
+	if st.LeasesStolen < 1 {
+		t.Fatalf("expected at least one stolen lease, status %+v", st)
+	}
+	if st.Duplicates < 1 {
+		t.Fatalf("expected the re-run to resolve duplicates, status %+v", st)
+	}
+
+	// The spool directory is an independent reconstruction path: the
+	// same bytes must come back out of faultmerge's directory merge.
+	m, err := report.MergeDir(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged bytes.Buffer
+	report.WriteCampaignCSV(&merged, m.App, m.Result)
+	if !bytes.Equal(merged.Bytes(), want) {
+		t.Fatalf("faultmerge -coord reconstruction differs from single-process run:\n--- merged\n%s--- single\n%s", merged.Bytes(), want)
+	}
+}

@@ -157,6 +157,21 @@ type Config struct {
 	// campaign at the same seed.
 	Shard     int
 	NumShards int
+	// Entries, when non-nil, runs exactly these plan entries instead of
+	// the Shard/NumShards enumeration — the coordinator's lease path
+	// (see internal/coord): a lease is a bounded Plan.Range, and any
+	// worker running the same entries at the same Seed produces the
+	// identical experiments.  Every entry must lie inside the plan
+	// (Region listed in Regions, 0 <= Index < Injections), and Entries
+	// is mutually exclusive with a nontrivial Shard/NumShards.
+	Entries []PlanEntry
+	// Golden, when non-nil, reuses a previously computed golden run
+	// instead of re-executing it — a worker holding many leases of one
+	// campaign pays for the reference run once.  The golden must come
+	// from the identical Image/Ranks/MPIConfig (the caller's contract);
+	// it is mutually exclusive with checkpointing, which needs the
+	// causality events only a fresh golden run records.
+	Golden *Golden
 	// Completed maps experiment IDs (Experiment.ID) to already-finished
 	// experiments, typically read back from a checkpoint journal.  Plan
 	// entries found here are counted without being re-run, which is how
@@ -346,20 +361,45 @@ func Run(cfg Config) (*Result, error) {
 			cfg.MaxCheckpoints = DefaultMaxCheckpoints
 		}
 	}
-
-	var rec *mpi.CausalityRecorder
-	if ckptOn {
-		rec = mpi.NewCausalityRecorder()
+	if cfg.Golden != nil && ckptOn {
+		return nil, fmt.Errorf("core: Golden reuse and checkpointing are mutually exclusive (checkpoints need the golden run's causality events)")
 	}
-	golden, err := runGolden(cfg.Image, cfg.Ranks, cfg.MPIConfig, cfg.WallLimit, rec, cfg.DisableSuperblocks)
-	if err != nil {
-		return nil, err
+
+	golden := cfg.Golden
+	var rec *mpi.CausalityRecorder
+	if golden == nil {
+		if ckptOn {
+			rec = mpi.NewCausalityRecorder()
+		}
+		var err error
+		golden, err = runGolden(cfg.Image, cfg.Ranks, cfg.MPIConfig, cfg.WallLimit, rec, cfg.DisableSuperblocks)
+		if err != nil {
+			return nil, err
+		}
 	}
 	dict := NewDictionary(cfg.Image)
 	budget := golden.MaxInstrs() * uint64(cfg.BudgetMultiplier)
 
 	plan := Plan{Regions: cfg.Regions, Injections: cfg.Injections}
 	entries := plan.Shard(cfg.Shard, cfg.NumShards)
+	if cfg.Entries != nil {
+		if cfg.Shard != 0 || cfg.NumShards != 1 {
+			return nil, fmt.Errorf("core: Entries and Shard/NumShards are mutually exclusive")
+		}
+		for _, pe := range cfg.Entries {
+			inPlan := false
+			for _, r := range cfg.Regions {
+				if r == pe.Region {
+					inPlan = true
+					break
+				}
+			}
+			if !inPlan || pe.Index < 0 || pe.Index >= cfg.Injections {
+				return nil, fmt.Errorf("core: entry %s outside the plan", pe.ID())
+			}
+		}
+		entries = cfg.Entries
+	}
 	met := newCampaignMeters(cfg.Metrics)
 	met.planned.Add(uint64(len(entries)))
 

@@ -176,3 +176,78 @@ func TestCampaignDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestEntriesAndGoldenReuse covers the coordinator's lease path: an
+// explicit Entries subset runs exactly those plan entries, a supplied
+// Golden skips the reference run without changing any outcome, and the
+// mutual-exclusion guards reject the configurations that would break
+// determinism.
+func TestEntriesAndGoldenReuse(t *testing.T) {
+	im, ranks := buildApp(t, "wavetoy")
+	base := Config{
+		Image: im, Ranks: ranks, Injections: 4, Seed: 11,
+		Regions:         []Region{RegionRegularReg, RegionMessage},
+		KeepExperiments: true,
+	}
+	full, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := Plan{Regions: base.Regions, Injections: base.Injections}
+	golden, err := RunGolden(im, ranks, defaultMPI(), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := make(map[string]Experiment)
+	for start := 0; start < plan.Total(); start += 3 {
+		cfg := base
+		cfg.Entries = plan.Range(start, start+3)
+		cfg.Golden = golden // leases after the first reuse the reference run
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Experiments) != len(cfg.Entries) {
+			t.Fatalf("entries [%d,%d): ran %d experiments, want %d",
+				start, start+3, len(res.Experiments), len(cfg.Entries))
+		}
+		for _, e := range res.Experiments {
+			merged[e.ID()] = e
+		}
+	}
+	if len(merged) != len(full.Experiments) {
+		t.Fatalf("entry windows ran %d experiments, full run %d", len(merged), len(full.Experiments))
+	}
+	for _, want := range full.Experiments {
+		got := merged[want.ID()]
+		got.Detail, want.Detail = "", ""
+		if got != want {
+			t.Errorf("experiment %s differs under Entries+Golden:\nlease: %+v\nfull:  %+v",
+				want.ID(), got, want)
+		}
+	}
+
+	cfg := base
+	cfg.Entries = plan.Range(0, 2)
+	cfg.NumShards = 2
+	if _, err := Run(cfg); err == nil {
+		t.Error("Entries with Shard/NumShards must be rejected")
+	}
+	cfg = base
+	cfg.Entries = []PlanEntry{{Region: RegionText, Index: 0}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("an entry outside the plan's regions must be rejected")
+	}
+	cfg = base
+	cfg.Entries = []PlanEntry{{Region: RegionRegularReg, Index: 99}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("an entry index outside the plan must be rejected")
+	}
+	cfg = base
+	cfg.Golden = golden
+	cfg.CheckpointInterval = 1000
+	if _, err := Run(cfg); err == nil {
+		t.Error("Golden reuse with checkpointing must be rejected")
+	}
+}

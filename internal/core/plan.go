@@ -76,6 +76,29 @@ func (p Plan) Shard(shard, of int) []PlanEntry {
 	return entries
 }
 
+// Range returns the contiguous plan entries [start, end), the
+// enumeration unit of coordinator leases: a lease is a bounded range of
+// the global plan, and because every experiment's random stream is
+// derived from (seed, region, index) alone, any worker can run any
+// range and produce the identical outcomes.  Bounds are clamped to the
+// plan.
+func (p Plan) Range(start, end int) []PlanEntry {
+	if start < 0 {
+		start = 0
+	}
+	if total := p.Total(); end > total {
+		end = total
+	}
+	if start >= end {
+		return nil
+	}
+	entries := make([]PlanEntry, 0, end-start)
+	for g := start; g < end; g++ {
+		entries = append(entries, p.Entry(g))
+	}
+	return entries
+}
+
 // ParseShard parses a command-line shard spec "i/K" (e.g. "0/3") into
 // (shard, numShards), validating 0 <= i < K.
 func ParseShard(s string) (shard, of int, err error) {

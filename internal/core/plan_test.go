@@ -114,3 +114,33 @@ func TestParseShard(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanRange(t *testing.T) {
+	p := Plan{Regions: []Region{RegionRegularReg, RegionMessage}, Injections: 4}
+	// Contiguous lease-sized windows tile the plan exactly.
+	var seen []PlanEntry
+	for start := 0; start < p.Total(); start += 3 {
+		seen = append(seen, p.Range(start, start+3)...)
+	}
+	if len(seen) != p.Total() {
+		t.Fatalf("tiled ranges yield %d entries, want %d", len(seen), p.Total())
+	}
+	for g, pe := range seen {
+		if pe != p.Entry(g) {
+			t.Errorf("tiled entry %d = %+v, want %+v", g, pe, p.Entry(g))
+		}
+	}
+	// Out-of-plan bounds clamp instead of panicking.
+	if got := p.Range(-2, 3); len(got) != 3 || got[0] != p.Entry(0) {
+		t.Errorf("Range(-2,3) = %+v", got)
+	}
+	if got := p.Range(6, 100); len(got) != 2 || got[1] != p.Entry(7) {
+		t.Errorf("Range(6,100) = %+v", got)
+	}
+	if got := p.Range(5, 5); got != nil {
+		t.Errorf("empty range = %+v", got)
+	}
+	if got := p.Range(9, 3); got != nil {
+		t.Errorf("inverted range = %+v", got)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 
 	"mpifault/internal/classify"
@@ -307,6 +309,35 @@ func parseJournal(data []byte) (h JournalHeader, completed map[string]core.Exper
 	return h, completed, valid, nil
 }
 
+// EntryFromExperiment builds the journal record for one finished
+// experiment — the line format workers stream to the coordinator, one
+// JSON object per line, identical to what Journal.Append writes.
+func EntryFromExperiment(e core.Experiment) JournalEntry {
+	return entryFromExperiment(e)
+}
+
+// ParseSegment parses journal bytes — a header line plus zero or more
+// entry lines — tolerating a truncated tail exactly like ResumeJournal:
+// the returned valid length covers every complete, well-formed line, and
+// anything after it is the footprint of an interrupted writer.  This is
+// the coordinator's ingestion parser: an uploaded lease segment is a
+// byte prefix of a worker's journal, so a worker killed mid-chunk leaves
+// a segment whose intact lines are still usable and whose torn tail is
+// simply re-covered when the lease is re-run.
+func ParseSegment(data []byte) (h JournalHeader, completed map[string]core.Experiment, valid int, err error) {
+	return parseJournal(data)
+}
+
+// SameOutcome reports whether two records of one experiment agree — the
+// duplicate-resolution predicate for merges and coordinator ingestion.
+// Any two workers running the same (seed, region, index) must produce
+// the identical outcome, so a disagreement means the campaign is not
+// deterministic and the duplicate cannot be resolved.  Forensics is
+// excluded from the comparison (see sameExperiment).
+func SameOutcome(a, b core.Experiment) bool {
+	return sameExperiment(a, b)
+}
+
 // sameExperiment reports whether two journal records describe the same
 // experiment outcome.  Forensics is deliberately excluded from the
 // comparison: it is auxiliary diagnostic data, and shards of one
@@ -330,6 +361,21 @@ type Merged struct {
 	// with WriteCampaignCSV / WriteCampaign reproduces the
 	// single-process campaign's output byte for byte.
 	Result *core.Result
+}
+
+// MergeDir merges every .jsonl journal under dir — the coordinator's
+// spool layout, one file per lease segment (stolen leases leave one file
+// per generation; their intact lines are duplicates the merge resolves).
+func MergeDir(dir string) (*Merged, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("report: no .jsonl journals under %s", dir)
+	}
+	sort.Strings(paths)
+	return MergeJournals(paths)
 }
 
 // MergeJournals reads shard journals and reconstructs the campaign.  It

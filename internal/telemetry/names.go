@@ -44,6 +44,24 @@ const (
 	MetricHeaderBytes     = "mpifault_mpi_header_bytes_total"
 	MetricPayloadBytes    = "mpifault_mpi_payload_bytes_total"
 
+	// Campaign control plane (internal/coord).  Leases are bounded
+	// ranges of the plan handed to pull-based workers; an expired lease
+	// (slow or dead worker) returns to the queue and is counted as
+	// stolen when another worker re-acquires it.  Results ingested vs
+	// duplicate separates first arrivals from the idempotent re-runs of
+	// stolen leases.
+	MetricCoordLeases          = "mpifault_coord_leases_total"
+	MetricCoordLeasesGranted   = "mpifault_coord_leases_granted_total"
+	MetricCoordLeasesCompleted = "mpifault_coord_leases_completed_total"
+	MetricCoordLeasesExpired   = "mpifault_coord_leases_expired_total"
+	MetricCoordLeasesStolen    = "mpifault_coord_leases_stolen_total"
+	MetricCoordLeasesActive    = "mpifault_coord_leases_active"
+	MetricCoordResults         = "mpifault_coord_results_ingested_total"
+	MetricCoordDuplicates      = "mpifault_coord_results_duplicate_total"
+	MetricCoordSegmentBytes    = "mpifault_coord_segment_bytes_total"
+	MetricCoordWorkers         = "mpifault_coord_workers"
+	MetricCoordPlanTotal       = "mpifault_coord_plan_experiments_total"
+
 	// §7 progress-metric detector (internal/progress).
 	MetricProgressRate          = "mpifault_progress_rate"
 	MetricProgressBaseline      = "mpifault_progress_baseline"
@@ -59,6 +77,12 @@ const outcomeMetricPrefix = "mpifault_experiments_outcome_total{outcome="
 // given classification (e.g. "Crash").
 func OutcomeMetric(outcome string) string {
 	return outcomeMetricPrefix + strconv.Quote(outcome) + "}"
+}
+
+// WorkerMetric names the per-worker ingested-result counter of the
+// coordinator's cluster view (e.g. worker "w1").
+func WorkerMetric(worker string) string {
+	return "mpifault_coord_worker_results_total{worker=" + strconv.Quote(worker) + "}"
 }
 
 // TrapMetric names the counter of VM traps of the given kind (e.g.

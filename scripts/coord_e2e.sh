@@ -1,0 +1,132 @@
+#!/bin/sh
+# scripts/coord_e2e.sh — the cluster chaos gate CI runs: a faultcoord
+# coordinator plus three faultcampaign workers, one of which is
+# SIGKILLed mid-campaign, must still produce a final CSV byte-identical
+# to the single-process run — and the coordinator's spool directory must
+# reconstruct the same bytes through `faultmerge -coord`.
+#
+# Environment:
+#   BIN_DIR   directory with prebuilt faultcoord/faultcampaign/faultmerge
+#             binaries (CI builds them once in a setup job); empty builds
+#             them into a temp dir here
+#   APP       guest application            (default wavetoy)
+#   N         injections per region        (default 12)
+#   SEED      campaign seed                (default 7)
+#   KILL_AT   results ingested before the SIGKILL (default 8)
+set -eu
+cd "$(dirname "$0")/.."
+
+APP=${APP:-wavetoy}
+N=${N:-12}
+SEED=${SEED:-7}
+KILL_AT=${KILL_AT:-8}
+
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+	for pid in $PIDS; do
+		kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+if [ -n "${BIN_DIR:-}" ]; then
+	FAULTCOORD=$BIN_DIR/faultcoord
+	FAULTCAMPAIGN=$BIN_DIR/faultcampaign
+	FAULTMERGE=$BIN_DIR/faultmerge
+	chmod +x "$FAULTCOORD" "$FAULTCAMPAIGN" "$FAULTMERGE"
+else
+	echo "== building binaries =="
+	go build -o "$WORK/bin/" ./cmd/faultcoord ./cmd/faultcampaign ./cmd/faultmerge
+	FAULTCOORD=$WORK/bin/faultcoord
+	FAULTCAMPAIGN=$WORK/bin/faultcampaign
+	FAULTMERGE=$WORK/bin/faultmerge
+fi
+
+echo "== worker-mode flag conflicts exit nonzero =="
+if "$FAULTCAMPAIGN" -worker http://127.0.0.1:1 -shard 0/2 2>"$WORK/conflict.err"; then
+	echo "FAIL: -worker combined with -shard was accepted" >&2
+	exit 1
+fi
+grep -q "drop -shard" "$WORK/conflict.err"
+echo "refused with: $(cat "$WORK/conflict.err")"
+
+echo "== single-process golden CSV =="
+"$FAULTCAMPAIGN" -app "$APP" -n "$N" -seed "$SEED" -csv -quiet >"$WORK/golden.csv"
+
+echo "== coordinator + 3 workers (one will be SIGKILLed) =="
+"$FAULTCOORD" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+	-app "$APP" -n "$N" -seed "$SEED" \
+	-lease-size 8 -lease-ttl 2s -dir "$WORK/spool" \
+	-wait -out "$WORK/final.csv" -status 5s &
+COORD=$!
+PIDS="$COORD"
+
+i=0
+while [ ! -s "$WORK/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "FAIL: coordinator never wrote its address file" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+URL=$(cat "$WORK/addr")
+echo "coordinator at $URL"
+
+"$FAULTCAMPAIGN" -worker "$URL" -worker-name victim -quiet &
+VICTIM=$!
+"$FAULTCAMPAIGN" -worker "$URL" -worker-name w2 -quiet &
+W2=$!
+"$FAULTCAMPAIGN" -worker "$URL" -worker-name w3 -quiet &
+W3=$!
+PIDS="$COORD $VICTIM $W2 $W3"
+
+ingested() {
+	curl -fsS "$URL/status" 2>/dev/null \
+		| grep -o '"results_ingested":[0-9]*' | cut -d: -f2 || echo 0
+}
+
+echo "== waiting for $KILL_AT ingested results, then SIGKILL the victim =="
+i=0
+while :; do
+	got=$(ingested)
+	if [ "${got:-0}" -ge "$KILL_AT" ]; then
+		break
+	fi
+	i=$((i + 1))
+	if [ "$i" -gt 600 ]; then
+		echo "FAIL: campaign never reached $KILL_AT results (at ${got:-0})" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+kill -9 "$VICTIM"
+echo "victim SIGKILLed at ${got} results"
+
+COORD_STATUS=0
+wait "$COORD" || COORD_STATUS=$?
+# The coordinator exits as soon as the campaign completes; a surviving
+# worker racing its shutdown may never see the campaign-over answer, so
+# reap them rather than wait for it (their exit status is not the
+# assertion — the CSV bytes are).
+PIDS=""
+kill "$W2" "$W3" 2>/dev/null || true
+wait "$W2" 2>/dev/null || true
+wait "$W3" 2>/dev/null || true
+if [ "$COORD_STATUS" -ne 0 ]; then
+	echo "FAIL: coordinator exited $COORD_STATUS" >&2
+	exit 1
+fi
+
+echo "== final CSV must be byte-identical to the single-process run =="
+diff -u "$WORK/golden.csv" "$WORK/final.csv"
+echo "coordinator CSV is byte-identical to the single-process campaign"
+
+echo "== spool reconstruction through faultmerge -coord =="
+"$FAULTMERGE" -csv -coord "$WORK/spool" >"$WORK/merged.csv"
+diff -u "$WORK/golden.csv" "$WORK/merged.csv"
+echo "faultmerge -coord reconstruction is byte-identical too"
+
+echo "coord_e2e: OK"

@@ -67,6 +67,17 @@ go run ./cmd/faultlint
 end
 
 if [ "$QUICK" = "1" ]; then
+	echo "== coord smoke skipped (TIER1_QUICK=1) =="
+else
+	begin "coord smoke"
+	# In-process cluster gate: an httptest coordinator, two workers
+	# pulling leases over real HTTP, and the final CSV compared byte for
+	# byte against the single-process campaign.
+	go test -count=1 -run '^TestCoordinatorSmoke$' ./internal/coord
+	end
+fi
+
+if [ "$QUICK" = "1" ]; then
 	echo "== benchmark smoke skipped (TIER1_QUICK=1) =="
 else
 	begin "benchmark smoke"
