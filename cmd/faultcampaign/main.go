@@ -12,6 +12,7 @@
 //	              [-predict]
 //	              [-metrics-addr :9090] [-metrics-out snapshot.json]
 //	              [-status 2s] [-forensics]
+//	              [-trace-diff] [-trace-out trace.json]
 //	              [-checkpoint-interval 12500] [-checkpoints 32]
 //	              [-no-superblock]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
@@ -39,6 +40,22 @@
 // are off by default, in which case the campaign runs the exact same
 // code path — and produces byte-identical output — as before they
 // existed.
+//
+// -trace-diff records a per-rank message-digest stream (operation, peer,
+// tag, byte count, payload hash) during the golden run and every
+// experiment, and localizes each Incorrect, Hang or Crash outcome by
+// binary-diffing its stream against the golden one: the journal entry
+// gains the first divergent message — implicated rank, message index,
+// golden-vs-observed digests and the instruction distance from the
+// injection.  faultmerge summarises these as the localization table.
+// Tracing only observes: fixed-seed tables, CSV and journal order are
+// byte-identical with -trace-diff on or off.  -trace-out writes the
+// golden trace's identity (app, seed, rank/message counts and digest
+// hash) as one JSON line, which CI compares across shard legs and
+// coordinator workers.  -trace-diff refuses to combine with an explicit
+// -checkpoint-interval/-checkpoints rather than silently disabling one:
+// a digest stream must observe every message from instruction 0, and a
+// checkpoint-restored experiment skips its golden prefix.
 //
 // Golden-run checkpointing is on by default: the golden run emits a
 // consistent cluster snapshot roughly every -checkpoint-interval retired
@@ -110,6 +127,7 @@ import (
 	"mpifault/internal/apps"
 	"mpifault/internal/coord"
 	"mpifault/internal/core"
+	"mpifault/internal/msgtrace"
 	"mpifault/internal/report"
 	"mpifault/internal/sampling"
 	"mpifault/internal/telemetry"
@@ -165,6 +183,21 @@ func runWorker(url, name string, parallelism int, quiet bool) int {
 	}
 }
 
+// writeGoldenTrace records the golden trace's identity as one JSON
+// line.  The fields are all derived from the deterministic golden run,
+// so two legs of one campaign — shards, superblock on/off, coordinator
+// workers — must write byte-identical files; CI diffs them.
+func writeGoldenTrace(path, app string, seed uint64, tr *msgtrace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = fmt.Fprintf(f, "{\"app\":%q,\"seed\":%d,\"ranks\":%d,\"messages\":%d,\"hash\":\"%016x\"}\n",
+		app, seed, len(tr.Ranks), tr.Messages(), tr.Hash())
+	return err
+}
+
 func run() int {
 	app := flag.String("app", "all", "application to inject into (wavetoy, minimd, minicam, all)")
 	n := flag.Int("n", 500, "injections per region (paper: 400-1000, 2000 for some message rows)")
@@ -184,6 +217,8 @@ func run() int {
 	metricsAddr := flag.String("metrics-addr", "", "serve live campaign metrics over HTTP on this address (/metrics Prometheus text, /metrics.json JSON)")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
 	forensics := flag.Bool("forensics", false, "record per-experiment fault forensics (last executed PCs, trap detail, manifestation latency) into the journal")
+	traceDiff := flag.Bool("trace-diff", false, "record per-rank message-digest streams and localize Incorrect/Hang/Crash outcomes by their first divergence from the golden trace")
+	traceOut := flag.String("trace-out", "", "write the golden trace's identity (app, seed, rank/message counts, digest hash) as JSON to this file (requires -trace-diff and a single -app)")
 	statusEvery := flag.Duration("status", 0, "print a one-line campaign status to stderr at this interval (e.g. 2s; 0 = off)")
 	ckptInterval := flag.Uint64("checkpoint-interval", core.DefaultCheckpointInterval, "golden-run instructions between cluster checkpoints; experiments start from the latest checkpoint before their trigger (0 = always start from t=0)")
 	ckptMax := flag.Int("checkpoints", 0, "maximum checkpoints per campaign (0 = default)")
@@ -203,6 +238,7 @@ func run() int {
 			switch f.Name {
 			case "shard", "journal", "resume", "app", "n", "seed", "regions",
 				"csv", "liveness", "equivalence", "predict", "forensics",
+				"trace-diff", "trace-out",
 				"checkpoint-interval", "checkpoints":
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -214,16 +250,27 @@ func run() int {
 		return runWorker(*workerURL, *workerName, *par, *quiet)
 	}
 
-	if *forensics && *ckptInterval > 0 {
-		ckptFlagSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "checkpoint-interval" || f.Name == "checkpoints" {
-				ckptFlagSet = true
-			}
-		})
-		if ckptFlagSet {
-			log.Print("-forensics disables checkpointing (flight records must cover the pre-injection prefix)")
+	ckptFlagSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "checkpoint-interval" || f.Name == "checkpoints" {
+			ckptFlagSet = true
 		}
+	})
+	if *forensics && *ckptInterval > 0 && ckptFlagSet {
+		log.Print("-forensics disables checkpointing (flight records must cover the pre-injection prefix)")
+	}
+	if *traceDiff && ckptFlagSet {
+		// Unlike -forensics (which predates this rule and only warns),
+		// combining an explicit checkpointing request with -trace-diff is
+		// refused outright: a digest stream must observe every message
+		// from instruction 0, and a checkpoint-restored experiment skips
+		// its golden prefix, so one of the two flags would be a no-op.
+		log.Print("-trace-diff cannot be combined with -checkpoint-interval/-checkpoints: digest streams must observe the run from instruction 0, which checkpoint-restored experiments skip")
+		return 1
+	}
+	if *traceOut != "" && !*traceDiff {
+		log.Print("-trace-out requires -trace-diff")
+		return 1
 	}
 
 	if *cpuprofile != "" {
@@ -358,6 +405,10 @@ func run() int {
 		log.Print("-journal records one campaign; pass a single -app")
 		return 1
 	}
+	if *traceOut != "" && len(names) != 1 {
+		log.Print("-trace-out records one golden trace; pass a single -app")
+		return 1
+	}
 
 	// A signal stops dispatching new experiments; in-flight ones finish
 	// and reach the journal, so a resumed run loses nothing.
@@ -402,6 +453,7 @@ func run() int {
 			Stop:        stop,
 			Metrics:     metrics,
 			Forensics:   *forensics,
+			TraceDiff:   *traceDiff,
 
 			CheckpointInterval: *ckptInterval,
 			MaxCheckpoints:     *ckptMax,
@@ -492,6 +544,19 @@ func run() int {
 			} else {
 				fmt.Fprintf(os.Stderr, "%s: %d checkpoints; %d/%d experiments restored mid-run, %.1fM golden-prefix instructions skipped\n",
 					name, st.Taken, st.Hits, st.Hits+st.Misses, float64(st.InstrsSkipped)/1e6)
+			}
+		}
+		if *traceDiff && res.Golden != nil && res.Golden.Trace != nil {
+			tr := res.Golden.Trace
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "%s: golden trace digest %016x (%d messages across %d ranks)\n",
+					name, tr.Hash(), tr.Messages(), len(tr.Ranks))
+			}
+			if *traceOut != "" {
+				if err := writeGoldenTrace(*traceOut, name, *seed, tr); err != nil {
+					log.Printf("trace-out: %v", err)
+					return 1
+				}
 			}
 		}
 		if res.Interrupted {

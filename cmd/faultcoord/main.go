@@ -8,7 +8,7 @@
 //
 //	faultcoord -addr :8700 [-addr-file path]
 //	           [-app wavetoy -n 500 -seed 1 [-regions reg,fp,...]
-//	            [-equivalence annotate|prune|audit]]
+//	            [-equivalence annotate|prune|audit] [-trace-diff]]
 //	           [-lease-size 32] [-lease-ttl 15s]
 //	           [-dir spool/] [-wait] [-out final.csv]
 //	           [-status 5s] [-quiet]
@@ -63,6 +63,7 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "campaign seed (same seed => identical campaign)")
 	regions := flag.String("regions", "", "comma-separated region subset (reg,fp,bss,data,stack,text,heap,message)")
 	equivalence := flag.String("equivalence", "", "drive register injections by the static equivalence partition (annotate, prune or audit)")
+	traceDiff := flag.Bool("trace-diff", false, "make every worker record message-digest streams and localize Incorrect/Hang/Crash outcomes against the golden trace (faultcampaign -trace-diff)")
 	leaseSize := flag.Int("lease-size", coord.DefaultLeaseSize, "plan entries per lease (small leases steal cheaply, large ones amortize the worker's golden run)")
 	leaseTTL := flag.Duration("lease-ttl", coord.DefaultLeaseTTL, "lease deadline; a worker that has not heartbeat within this long forfeits the lease")
 	dir := flag.String("dir", "", "spool ingested journal segments to this directory (merge with faultmerge -coord)")
@@ -95,6 +96,7 @@ func run() int {
 			Seed:           *seed,
 			Regions:        shorts,
 			Equivalence:    *equivalence,
+			TraceDiff:      *traceDiff,
 			LeaseSize:      *leaseSize,
 			LeaseTTLMillis: leaseTTL.Milliseconds(),
 		})

@@ -73,8 +73,8 @@ func run() int {
 
 	if *csv {
 		// CSV mode stays byte-identical to `faultcampaign -csv` — the
-		// determinism gate diffs it — so the forensics summary is
-		// table-mode only.
+		// determinism gate diffs it — so the forensics and trace-diff
+		// localization summaries are table-mode only.
 		report.WriteCampaignCSV(os.Stdout, m.App, m.Result)
 	} else {
 		label := m.App
@@ -83,6 +83,7 @@ func run() int {
 		}
 		report.WriteCampaign(os.Stdout, label, m.Result)
 		report.WriteLatencyHistogram(os.Stdout, m.Result.Experiments)
+		report.WriteLocalization(os.Stdout, m.Result.Experiments)
 	}
 
 	if m.Result.Unclassified > 0 {

@@ -347,6 +347,13 @@ func (w *worker) runLease(grant leaseGrant) error {
 		return fmt.Errorf("lease range [%d,%d) outside the plan", grant.Start, grant.End)
 	}
 
+	golden := wa.golden
+	if spec.TraceDiff && golden != nil && golden.Trace == nil {
+		// The cached golden predates a trace-diff campaign (possible
+		// only across campaigns of one app); re-run it with the digest
+		// recorder attached rather than failing the lease.
+		golden = nil
+	}
 	cfg := core.Config{
 		Image:             wa.image,
 		Ranks:             grant.Ranks,
@@ -355,9 +362,10 @@ func (w *worker) runLease(grant leaseGrant) error {
 		Seed:              spec.Seed,
 		Parallelism:       w.opt.Parallelism,
 		Entries:           entries,
-		Golden:            wa.golden,
+		Golden:            golden,
 		Equivalence:       wa.equivalence,
 		EquivalencePolicy: wa.eqPolicy,
+		TraceDiff:         spec.TraceDiff,
 	}
 	seg := &segmentWriter{}
 	seg.appendLine(report.CampaignHeader(spec.App, cfg))
@@ -440,7 +448,18 @@ func (w *worker) runLease(grant leaseGrant) error {
 	if err != nil {
 		return err
 	}
-	wa.golden = res.Golden // pay for the reference run once per app
+	if golden == nil && res.Golden != nil {
+		// This lease paid for the reference run; cache it for the app's
+		// later leases.  The digest line makes the golden-trace identity
+		// externally checkable: every worker of a trace-diff campaign
+		// must log the same hash, and it must match a single-process
+		// `faultcampaign -trace-out` of the same spec.
+		wa.golden = res.Golden
+		if tr := res.Golden.Trace; tr != nil {
+			w.logf("golden trace digest %016x (%d messages across %d ranks)",
+				tr.Hash(), tr.Messages(), len(tr.Ranks))
+		}
+	}
 
 	select {
 	case <-lost:

@@ -12,6 +12,7 @@ import (
 	"mpifault/internal/cluster"
 	"mpifault/internal/image"
 	"mpifault/internal/mpi"
+	"mpifault/internal/msgtrace"
 	"mpifault/internal/rng"
 	"mpifault/internal/telemetry"
 	"mpifault/internal/vm"
@@ -26,6 +27,10 @@ type Golden struct {
 	Instrs    []uint64
 	RecvBytes []uint64
 	Result    *cluster.Result
+	// Trace is the reference per-rank message-digest stream, recorded
+	// only when the campaign runs with Config.TraceDiff; experiments
+	// diff their own streams against it to localize faults.
+	Trace *msgtrace.Trace
 }
 
 // MaxInstrs returns the largest per-rank instruction count.
@@ -41,22 +46,31 @@ func (g *Golden) MaxInstrs() uint64 {
 
 // RunGolden executes the fault-free reference run.
 func RunGolden(im *image.Image, ranks int, mpiCfg mpi.Config, wall time.Duration) (*Golden, error) {
-	return runGolden(im, ranks, mpiCfg, wall, nil, false)
+	return runGolden(im, ranks, mpiCfg, wall, nil, false, false)
 }
 
 // runGolden is RunGolden with an optional causality recorder attached —
 // the checkpointing campaign records message events during the reference
-// run to compute consistent cuts from — and the campaign's interpreter
-// escape hatch.
-func runGolden(im *image.Image, ranks int, mpiCfg mpi.Config, wall time.Duration, rec *mpi.CausalityRecorder, noSB bool) (*Golden, error) {
-	res := cluster.Run(cluster.Job{
+// run to compute consistent cuts from — the campaign's interpreter
+// escape hatch, and the trace-diff digest recorder.
+func runGolden(im *image.Image, ranks int, mpiCfg mpi.Config, wall time.Duration, rec *mpi.CausalityRecorder, noSB, traced bool) (*Golden, error) {
+	job := cluster.Job{
 		Image: im, Size: ranks, MPIConfig: mpiCfg, WallLimit: wall,
 		Causality: rec, DisableSuperblocks: noSB,
-	})
+	}
+	var mrec *msgtrace.Recorder
+	if traced {
+		mrec = msgtrace.NewRecorder(ranks)
+		job.Setup = func(rank int, m *vm.Machine, p *mpi.Proc) { mrec.Attach(p) }
+	}
+	res := cluster.Run(job)
 	if res.HangDetected {
 		return nil, fmt.Errorf("core: golden run hung: %s", res.HangCause)
 	}
 	g := &Golden{Output: res.CanonicalOutput(), Result: res}
+	if mrec != nil {
+		g.Trace = mrec.Trace()
+	}
 	for r, rr := range res.Ranks {
 		if rr.Trap == nil || rr.Trap.Kind != vm.TrapExit || rr.Trap.Code != 0 {
 			return nil, fmt.Errorf("core: golden run rank %d failed: %v", r, rr.Trap)
@@ -207,6 +221,16 @@ type Config struct {
 	// instructions leading up to the injection, which a restored
 	// experiment would have skipped.
 	Forensics bool
+	// TraceDiff records a per-rank message-digest stream (op, peer,
+	// tag, byte count, payload hash) for the golden run and every
+	// experiment, and, for Incorrect/Hang/Crash outcomes, attaches the
+	// first divergence from the golden trace to Experiment.Forensics —
+	// the Okita-style fault localization.  Like Forensics it disables
+	// checkpointing: a digest stream must cover the run from
+	// instruction 0, which a restored experiment would have skipped.
+	// The hook only observes; fixed-seed outcomes, CSV and journal
+	// order are identical with TraceDiff on or off.
+	TraceDiff bool
 	// CheckpointInterval, when nonzero, enables golden-run
 	// checkpointing: the golden run emits a consistent cluster snapshot
 	// roughly every CheckpointInterval retired instructions, and each
@@ -350,8 +374,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	ckptOn := cfg.CheckpointInterval > 0 || cfg.MaxCheckpoints > 0
-	if cfg.Forensics {
-		ckptOn = false // flight records must cover the whole prefix
+	if cfg.Forensics || cfg.TraceDiff {
+		ckptOn = false // flight records and digest streams must cover the whole prefix
 	}
 	if ckptOn {
 		if cfg.CheckpointInterval == 0 {
@@ -364,6 +388,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Golden != nil && ckptOn {
 		return nil, fmt.Errorf("core: Golden reuse and checkpointing are mutually exclusive (checkpoints need the golden run's causality events)")
 	}
+	if cfg.Golden != nil && cfg.TraceDiff && cfg.Golden.Trace == nil {
+		return nil, fmt.Errorf("core: Golden reuse with TraceDiff requires a golden recorded with TraceDiff (its message trace is missing)")
+	}
 
 	golden := cfg.Golden
 	var rec *mpi.CausalityRecorder
@@ -372,7 +399,7 @@ func Run(cfg Config) (*Result, error) {
 			rec = mpi.NewCausalityRecorder()
 		}
 		var err error
-		golden, err = runGolden(cfg.Image, cfg.Ranks, cfg.MPIConfig, cfg.WallLimit, rec, cfg.DisableSuperblocks)
+		golden, err = runGolden(cfg.Image, cfg.Ranks, cfg.MPIConfig, cfg.WallLimit, rec, cfg.DisableSuperblocks, cfg.TraceDiff)
 		if err != nil {
 			return nil, err
 		}
@@ -401,6 +428,7 @@ func Run(cfg Config) (*Result, error) {
 		entries = cfg.Entries
 	}
 	met := newCampaignMeters(cfg.Metrics)
+	met.traceDiff = cfg.TraceDiff
 	met.planned.Add(uint64(len(entries)))
 
 	cctx := &campaignCtx{cfg: &cfg, golden: golden, dict: dict, budget: budget, met: met}
@@ -596,11 +624,13 @@ type campaignCtx struct {
 }
 
 // expScratch is the pooled per-experiment scratch: the experiment and
-// fault RNG streams (re-seeded in place) and the forensics flight
-// recorder (ring reset, storage kept).
+// fault RNG streams (re-seeded in place), the forensics flight recorder
+// (ring reset, storage kept) and the trace-diff digest recorder
+// (streams truncated, backing arrays kept).
 type expScratch struct {
 	r, faultRng rng.Rand
 	rec         *vm.FlightRecorder
+	mrec        *msgtrace.Recorder
 }
 
 // bucketOf peeks at the checkpoint an experiment will restore from
@@ -758,11 +788,33 @@ func runOne(c *campaignCtx, e *Experiment, sc *expScratch) {
 		}
 	}
 
+	// The digest recorder observes every rank (a fault on one rank
+	// diverges its peers' streams too), composing with the injector
+	// hook the region branch installed above.
+	var mrec *msgtrace.Recorder
+	if cfg.TraceDiff {
+		if sc.mrec == nil {
+			sc.mrec = msgtrace.NewRecorder(cfg.Ranks)
+		}
+		sc.mrec.Reset(cfg.Ranks)
+		mrec = sc.mrec
+		inner := job.Setup
+		job.Setup = func(rank int, m *vm.Machine, p *mpi.Proc) {
+			mrec.Attach(p)
+			if inner != nil {
+				inner(rank, m, p)
+			}
+		}
+	}
+
 	res := cluster.Run(job)
 	e.Outcome = classify.Classify(res, golden.Output)
 	e.Detail = res.FailureSummary()
 	if rec != nil {
 		e.Forensics = buildForensics(e, rec, res)
+	}
+	if mrec != nil {
+		attachDivergence(e, golden.Trace, mrec.Trace())
 	}
 	if mi != nil {
 		_, e.Desc = mi.Report()

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"mpifault/internal/classify"
 	"mpifault/internal/cluster"
+	"mpifault/internal/msgtrace"
 	"mpifault/internal/vm"
 )
 
@@ -32,6 +34,13 @@ type Forensics struct {
 	// LastPCs are the most recently retired program counters on the
 	// target rank, oldest first.
 	LastPCs []uint32 `json:"last_pcs,omitempty"`
+	// Divergence localizes the fault in the message stream: the first
+	// digest at which the experiment departed from the golden trace.
+	// Filled only when the campaign ran with Config.TraceDiff and the
+	// outcome was Incorrect, Hang or Crash; it stays the last field so
+	// PR-4-era journal lines (which predate it) re-marshal byte-
+	// identically.
+	Divergence *msgtrace.Divergence `json:"divergence,omitempty"`
 }
 
 // Latency returns the instruction count from injection to
@@ -43,6 +52,16 @@ func (f *Forensics) Latency() (uint64, bool) {
 		return 0, false
 	}
 	return f.ManifestedAt - f.InjectedAt, true
+}
+
+// Divergence returns the experiment's trace-diff localization record,
+// nil when the campaign ran without TraceDiff or no divergence was
+// found.
+func (e *Experiment) Divergence() *msgtrace.Divergence {
+	if e.Forensics == nil {
+		return nil
+	}
+	return e.Forensics.Divergence
 }
 
 // forensicsDepth is the flight-recorder ring size: enough PCs to see
@@ -68,4 +87,30 @@ func buildForensics(e *Experiment, rec *vm.FlightRecorder, res *cluster.Result) 
 		f.TrapMsg = t.Msg
 	}
 	return f
+}
+
+// attachDivergence diffs a finished experiment's digest streams against
+// the golden trace and attaches the first divergence for the outcomes
+// where localization is meaningful: Incorrect (whose corruption the
+// divergent payload hash pinpoints), Hang and Crash (whose truncated or
+// departing streams name the rank that stopped conversing).  A fresh
+// Forensics record is allocated when the campaign ran without the
+// flight recorder.
+func attachDivergence(e *Experiment, golden *msgtrace.Trace, observed *msgtrace.Trace) {
+	switch e.Outcome {
+	case classify.Incorrect, classify.Hang, classify.Crash:
+	default:
+		return
+	}
+	d := msgtrace.Diff(golden, observed)
+	if d == nil {
+		return
+	}
+	if e.Region != RegionMessage && d.Rank == e.Rank && d.Instrs >= e.Trigger {
+		d.InstrsSinceInjection = d.Instrs - e.Trigger
+	}
+	if e.Forensics == nil {
+		e.Forensics = &Forensics{}
+	}
+	e.Forensics.Divergence = d
 }

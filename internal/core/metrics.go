@@ -19,6 +19,11 @@ type campaignMeters struct {
 	inflight                            *telemetry.Gauge
 	outcomes                            [classify.NumOutcomes]*telemetry.Counter
 	crashLatency, hangLatency           *telemetry.Histogram
+	traceDiffed, traceLoc, traceUnloc   *telemetry.Counter
+	traceMsgIndex, traceLatency         *telemetry.Histogram
+	// traceDiff mirrors Config.TraceDiff so observe can count
+	// unlocalized diffable outcomes only when diffing actually ran.
+	traceDiff bool
 }
 
 func newCampaignMeters(reg *telemetry.Registry) *campaignMeters {
@@ -37,6 +42,11 @@ func newCampaignMeters(reg *telemetry.Registry) *campaignMeters {
 		inflight:      reg.Gauge(telemetry.MetricExperimentsInflight),
 		crashLatency:  reg.Histogram(telemetry.MetricCrashLatency, telemetry.LatencyBuckets),
 		hangLatency:   reg.Histogram(telemetry.MetricHangLatency, telemetry.LatencyBuckets),
+		traceDiffed:   reg.Counter(telemetry.MetricTraceDiffed),
+		traceLoc:      reg.Counter(telemetry.MetricTraceLocalized),
+		traceUnloc:    reg.Counter(telemetry.MetricTraceUnlocalized),
+		traceMsgIndex: reg.Histogram(telemetry.MetricTraceDivergenceMsg, telemetry.TraceMessageBuckets),
+		traceLatency:  reg.Histogram(telemetry.MetricTraceLatency, telemetry.LatencyBuckets),
 	}
 	for o := classify.Outcome(0); o < classify.NumOutcomes; o++ {
 		m.outcomes[o] = reg.Counter(telemetry.OutcomeMetric(o.String()))
@@ -59,6 +69,21 @@ func (m *campaignMeters) observe(e *Experiment) {
 			m.crashLatency.Observe(lat)
 		case classify.Hang:
 			m.hangLatency.Observe(lat)
+		}
+	}
+	if m.traceDiff {
+		switch e.Outcome {
+		case classify.Incorrect, classify.Hang, classify.Crash:
+			m.traceDiffed.Inc()
+			if d := e.Divergence(); d != nil {
+				m.traceLoc.Inc()
+				m.traceMsgIndex.Observe(uint64(d.MsgIndex))
+				if d.InstrsSinceInjection > 0 {
+					m.traceLatency.Observe(d.InstrsSinceInjection)
+				}
+			} else {
+				m.traceUnloc.Inc()
+			}
 		}
 	}
 }

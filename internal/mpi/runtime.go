@@ -120,6 +120,16 @@ type Proc struct {
 	// (internal/analysis.MPILint).
 	CommHook func(CommOp)
 
+	// TraceHook, when set, observes the rank's message-digest event
+	// stream for trace-diff localization (internal/msgtrace).  Unlike
+	// CommHook it fires for collectives too, carries the payload bytes
+	// (CommOp.Data) and the retired-instruction stamp, and emits receive
+	// events at completion with the *matched* envelope rather than at
+	// post time with wildcards.  Every event fires on the rank's own
+	// goroutine in program order, so the stream is deterministic for a
+	// deterministic guest.
+	TraceHook func(CommOp)
+
 	Stats Stats
 
 	errhandler uint32 // guest address of the registered error handler, 0 if none

@@ -1,0 +1,256 @@
+package msgtrace
+
+import (
+	"testing"
+
+	"mpifault/internal/abi"
+	"mpifault/internal/asm"
+	"mpifault/internal/cluster"
+	"mpifault/internal/guest"
+	"mpifault/internal/image"
+	"mpifault/internal/isa"
+	"mpifault/internal/mpi"
+	"mpifault/internal/vm"
+)
+
+func dg(op string, peer, tag int32, bytes uint32, hash, instrs uint64) Digest {
+	return Digest{Op: op, Peer: peer, Tag: tag, Bytes: bytes, Hash: hash, Instrs: instrs}
+}
+
+func TestDigestEqualIgnoresInstrs(t *testing.T) {
+	a := dg("MPI_Send", 1, 7, 4, 99, 1000)
+	b := dg("MPI_Send", 1, 7, 4, 99, 2000)
+	if !a.Equal(b) {
+		t.Error("digests differing only in Instrs must compare equal")
+	}
+	if a.Equal(dg("MPI_Send", 1, 7, 4, 98, 1000)) {
+		t.Error("payload-hash difference not detected")
+	}
+}
+
+func TestTraceHashIgnoresInstrsButNotContent(t *testing.T) {
+	base := &Trace{Ranks: [][]Digest{
+		{dg("MPI_Send", 1, 7, 4, 11, 100)},
+		{dg("MPI_Recv", 0, 7, 4, 11, 200)},
+	}}
+	same := &Trace{Ranks: [][]Digest{
+		{dg("MPI_Send", 1, 7, 4, 11, 999)},
+		{dg("MPI_Recv", 0, 7, 4, 11, 888)},
+	}}
+	if base.Hash() != same.Hash() {
+		t.Error("instruction stamps must not perturb the trace hash")
+	}
+	diff := &Trace{Ranks: [][]Digest{
+		{dg("MPI_Send", 1, 7, 4, 12, 100)},
+		{dg("MPI_Recv", 0, 7, 4, 11, 200)},
+	}}
+	if base.Hash() == diff.Hash() {
+		t.Error("payload-hash change must change the trace hash")
+	}
+	if base.Messages() != 2 {
+		t.Errorf("Messages() = %d, want 2", base.Messages())
+	}
+}
+
+func TestDiffFindsFirstMismatch(t *testing.T) {
+	golden := &Trace{Ranks: [][]Digest{
+		{dg("MPI_Send", 1, 7, 4, 11, 0), dg("MPI_Send", 1, 7, 4, 12, 0)},
+		{dg("MPI_Recv", 0, 7, 4, 11, 0), dg("MPI_Recv", 0, 7, 4, 12, 0)},
+	}}
+	obs := &Trace{Ranks: [][]Digest{
+		{dg("MPI_Send", 1, 7, 4, 11, 0), dg("MPI_Send", 1, 7, 4, 0xBAD, 3141)},
+		{dg("MPI_Recv", 0, 7, 4, 11, 0), dg("MPI_Recv", 0, 7, 4, 0xBAD, 0)},
+	}}
+	d := Diff(golden, obs)
+	if d == nil {
+		t.Fatal("divergence not found")
+	}
+	if d.Rank != 0 || d.MsgIndex != 1 || d.Kind != KindMismatch {
+		t.Fatalf("divergence = %+v, want rank 0 msg 1 mismatch", d)
+	}
+	if d.Instrs != 3141 {
+		t.Errorf("Instrs = %d, want the observed event's stamp", d.Instrs)
+	}
+	if d.Golden == "" || d.Observed == "" {
+		t.Error("mismatch must render both digests")
+	}
+	if Diff(golden, golden) != nil {
+		t.Error("identical traces must not diverge")
+	}
+}
+
+func TestDiffTruncationAndExtra(t *testing.T) {
+	golden := &Trace{Ranks: [][]Digest{
+		{dg("MPI_Send", 1, 7, 4, 11, 0), dg("MPI_Send", 1, 7, 4, 12, 0)},
+	}}
+	short := &Trace{Ranks: [][]Digest{
+		{dg("MPI_Send", 1, 7, 4, 11, 500)},
+	}}
+	d := Diff(golden, short)
+	if d == nil || d.Kind != KindMissing || d.MsgIndex != 1 || d.Instrs != 500 {
+		t.Fatalf("truncation divergence = %+v", d)
+	}
+	if d.Golden == "" || d.Observed != "" {
+		t.Errorf("missing divergence renders only the golden digest: %+v", d)
+	}
+	long := &Trace{Ranks: [][]Digest{
+		{dg("MPI_Send", 1, 7, 4, 11, 0), dg("MPI_Send", 1, 7, 4, 12, 0),
+			dg("MPI_Send", 1, 7, 4, 13, 0)},
+	}}
+	d = Diff(golden, long)
+	if d == nil || d.Kind != KindExtra || d.MsgIndex != 2 {
+		t.Fatalf("extra divergence = %+v", d)
+	}
+}
+
+func TestDiffPrefersActiveDivergenceOverTruncation(t *testing.T) {
+	// Rank 0's stream is truncated at index 0 (teardown collateral);
+	// rank 1 actively produced different content at index 1.  The
+	// mismatch implicates the faulty rank.
+	golden := &Trace{Ranks: [][]Digest{
+		{dg("MPI_Recv", 1, 7, 4, 11, 0)},
+		{dg("MPI_Send", 0, 7, 4, 11, 0), dg("MPI_Send", 0, 8, 4, 12, 0)},
+	}}
+	obs := &Trace{Ranks: [][]Digest{
+		{},
+		{dg("MPI_Send", 0, 7, 4, 11, 0), dg("MPI_Send", 0, 8, 4, 0xBAD, 0)},
+	}}
+	d := Diff(golden, obs)
+	if d == nil || d.Rank != 1 || d.Kind != KindMismatch {
+		t.Fatalf("divergence = %+v, want the rank-1 mismatch", d)
+	}
+}
+
+func TestRecorderResetKeepsWorldSize(t *testing.T) {
+	rec := NewRecorder(2)
+	w := mpi.NewWorld(2, mpi.Config{})
+	rec.Attach(w.Proc(0))
+	w.Proc(0).TraceHook(mpi.CommOp{Rank: 0, Fn: "MPI_Send", Peer: 1, Bytes: 4})
+	if rec.Trace().Messages() != 1 {
+		t.Fatal("event not recorded")
+	}
+	rec.Reset(2)
+	if rec.Trace().Messages() != 0 {
+		t.Fatal("Reset did not clear the streams")
+	}
+	rec.Reset(3)
+	if len(rec.Trace().Ranks) != 3 {
+		t.Fatal("Reset did not resize for a new world")
+	}
+}
+
+// buildWildcard links a 2-rank program: rank 1 sends two distinct
+// messages (tags 5 then 9) to rank 0, which receives both through
+// MPI_ANY_SOURCE/MPI_ANY_TAG.  The digest stream must record the
+// matched envelope, not the wildcards.
+func buildWildcard(t *testing.T) *image.Image {
+	t.Helper()
+	b := asm.NewBuilder()
+	guest.AddLibc(b)
+	guest.AddLibMPI(b)
+	m := b.Module("app", image.OwnerUser)
+	m.BSS("sendbuf", 4)
+	m.BSS("recvbuf", 4)
+
+	f := m.Func("main")
+	f.Prologue(0)
+	f.CallArgs("MPI_Init")
+	f.CallArgs("MPI_Comm_rank", asm.Imm(abi.CommWorld))
+	sender, done := f.NewLabel(), f.NewLabel()
+	f.Cmpi(isa.R0, 0)
+	f.Bne(sender)
+	f.CallArgs("MPI_Recv", asm.Sym("recvbuf"), asm.Imm(1), asm.Imm(abi.DTInt32),
+		asm.Imm(abi.AnySource), asm.Imm(abi.AnyTag), asm.Imm(abi.CommWorld), asm.Imm(0))
+	f.CallArgs("MPI_Recv", asm.Sym("recvbuf"), asm.Imm(1), asm.Imm(abi.DTInt32),
+		asm.Imm(abi.AnySource), asm.Imm(abi.AnyTag), asm.Imm(abi.CommWorld), asm.Imm(0))
+	f.Jmp(done)
+	f.Label(sender)
+	f.Movi(isa.R1, 0x11)
+	f.StSym("sendbuf", 0, isa.R1)
+	f.CallArgs("MPI_Send", asm.Sym("sendbuf"), asm.Imm(1), asm.Imm(abi.DTInt32),
+		asm.Imm(0), asm.Imm(5), asm.Imm(abi.CommWorld))
+	f.Movi(isa.R1, 0x22)
+	f.StSym("sendbuf", 0, isa.R1)
+	f.CallArgs("MPI_Send", asm.Sym("sendbuf"), asm.Imm(1), asm.Imm(abi.DTInt32),
+		asm.Imm(0), asm.Imm(9), asm.Imm(abi.CommWorld))
+	f.Label(done)
+	f.CallArgs("MPI_Finalize")
+	f.Movi(isa.R0, 0)
+	f.Epilogue()
+	im, err := b.Link(asm.LinkConfig{})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return im
+}
+
+func runTraced(t *testing.T, im *image.Image) *Trace {
+	t.Helper()
+	rec := NewRecorder(2)
+	res := cluster.Run(cluster.Job{
+		Image: im, Size: 2, Budget: 1_000_000,
+		Setup: func(rank int, m *vm.Machine, p *mpi.Proc) { rec.Attach(p) },
+	})
+	if res.HangDetected {
+		t.Fatalf("unexpected hang: %s", res.HangCause)
+	}
+	for r, rr := range res.Ranks {
+		if rr.Trap == nil || rr.Trap.Kind != vm.TrapExit || rr.Trap.Code != 0 {
+			t.Fatalf("rank %d trap = %+v", r, rr.Trap)
+		}
+	}
+	return rec.Trace()
+}
+
+func TestWildcardRecvDigestsMatchedEnvelope(t *testing.T) {
+	im := buildWildcard(t)
+	tr := runTraced(t, im)
+
+	r0 := tr.Ranks[0]
+	if len(r0) != 2 {
+		t.Fatalf("rank 0 recorded %d digests, want 2: %v", len(r0), r0)
+	}
+	for i, want := range []int32{5, 9} {
+		d := r0[i]
+		if d.Op != "MPI_Recv" {
+			t.Errorf("digest %d op = %q", i, d.Op)
+		}
+		if d.Peer != 1 {
+			t.Errorf("digest %d peer = %d, want the matched sender 1 (not AnySource)", i, d.Peer)
+		}
+		if d.Tag != want {
+			t.Errorf("digest %d tag = %d, want the matched tag %d (not AnyTag)", i, d.Tag, want)
+		}
+		if d.Bytes != 4 {
+			t.Errorf("digest %d bytes = %d, want 4", i, d.Bytes)
+		}
+	}
+	// The two receives carried different payloads: hashes must differ
+	// and match the corresponding send-side hashes.
+	if r0[0].Hash == r0[1].Hash {
+		t.Error("distinct payloads hashed identically")
+	}
+	r1 := tr.Ranks[1]
+	if len(r1) != 2 {
+		t.Fatalf("rank 1 recorded %d digests, want 2: %v", len(r1), r1)
+	}
+	for i := range r1 {
+		if r1[i].Op != "MPI_Send" || r1[i].Peer != 0 {
+			t.Errorf("send digest %d = %+v", i, r1[i])
+		}
+		if r1[i].Hash != r0[i].Hash {
+			t.Errorf("send/recv hash mismatch at %d: %016x vs %016x",
+				i, r1[i].Hash, r0[i].Hash)
+		}
+	}
+
+	// Determinism: a second run records a hash-identical trace, and the
+	// diff finds no divergence.
+	tr2 := runTraced(t, im)
+	if tr.Hash() != tr2.Hash() {
+		t.Errorf("trace hash not reproducible: %016x vs %016x", tr.Hash(), tr2.Hash())
+	}
+	if d := Diff(tr, tr2); d != nil {
+		t.Errorf("identical runs diverged: %+v", d)
+	}
+}

@@ -407,9 +407,12 @@ func MergeJournals(paths []string) (*Merged, error) {
 					return nil, fmt.Errorf("report: experiment %s disagrees between %s and %s — journals are not shards of one campaign",
 						id, src[id], path)
 				}
-				// Keep whichever duplicate carries forensics, so a shard
-				// run with the flight recorder enriches one run without.
-				if prev.Forensics == nil && e.Forensics != nil {
+				// Keep whichever duplicate carries the richer record —
+				// forensics over none, trace-diff divergence over plain
+				// forensics — so a shard run with the flight recorder or
+				// trace diffing enriches one run without.
+				if prev.Forensics == nil && e.Forensics != nil ||
+					prev.Divergence() == nil && e.Divergence() != nil {
 					byID[id] = e
 				}
 				continue

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mpifault/internal/classify"
+	"mpifault/internal/core"
+)
+
+// WriteLocalization renders the trace-diff localization summary: for
+// each outcome a divergence record can explain (Incorrect, Hang,
+// Crash), how many experiments the golden-trace diff localized to a
+// first divergent message, how far into the message stream that
+// divergence sat, and how many instructions after the injection it
+// surfaced.  Only campaigns run with -trace-diff produce divergence
+// records; if no experiment carries one, nothing is printed.
+func WriteLocalization(w io.Writer, experiments []core.Experiment) {
+	type row struct {
+		total     int
+		localized int
+		msgIdx    []uint64
+		sinceInj  []uint64
+	}
+	outcomes := []classify.Outcome{classify.Incorrect, classify.Hang, classify.Crash}
+	rows := make(map[classify.Outcome]*row, len(outcomes))
+	for _, o := range outcomes {
+		rows[o] = &row{}
+	}
+	any := false
+	for i := range experiments {
+		e := &experiments[i]
+		r, ok := rows[e.Outcome]
+		if !ok {
+			continue
+		}
+		r.total++
+		d := e.Divergence()
+		if d == nil {
+			continue
+		}
+		any = true
+		r.localized++
+		r.msgIdx = append(r.msgIdx, uint64(d.MsgIndex))
+		if d.InstrsSinceInjection > 0 {
+			r.sinceInj = append(r.sinceInj, d.InstrsSinceInjection)
+		}
+	}
+	if !any {
+		return
+	}
+
+	fmt.Fprintf(w, "Trace-diff localization (first divergence vs golden message stream):\n")
+	fmt.Fprintf(w, "  %-12s %8s %10s %10s %12s %14s\n",
+		"outcome", "total", "localized", "fraction", "med msg idx", "med instrs-inj")
+	for _, o := range outcomes {
+		r := rows[o]
+		if r.total == 0 {
+			continue
+		}
+		frac := "-"
+		if r.total > 0 {
+			frac = fmt.Sprintf("%.1f%%", 100*float64(r.localized)/float64(r.total))
+		}
+		fmt.Fprintf(w, "  %-12s %8d %10d %10s %12s %14s\n",
+			o, r.total, r.localized, frac,
+			medianLabel(r.msgIdx), medianLabel(r.sinceInj))
+	}
+}
+
+// medianLabel renders the median of vs, or "-" when there is nothing to
+// take a median of.
+func medianLabel(vs []uint64) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	sorted := append([]uint64(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return fmt.Sprintf("%d", sorted[len(sorted)/2])
+}

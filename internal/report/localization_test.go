@@ -1,0 +1,187 @@
+package report
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpifault/internal/classify"
+	"mpifault/internal/core"
+	"mpifault/internal/msgtrace"
+)
+
+func syntheticDivergence() *msgtrace.Divergence {
+	return &msgtrace.Divergence{
+		Rank:                 1,
+		MsgIndex:             7,
+		Kind:                 msgtrace.KindMismatch,
+		Golden:               "MPI_Send peer=0 tag=3 bytes=16 hash=0011223344556677",
+		Observed:             "MPI_Send peer=0 tag=3 bytes=16 hash=8899aabbccddeeff",
+		Instrs:               4200,
+		InstrsSinceInjection: 900,
+	}
+}
+
+// TestPreDivergenceJournalLineByteIdentical pins the serialization
+// compatibility contract: a journal line written before the divergence
+// field existed — forensics present, no divergence — must survive a
+// parse/re-marshal cycle byte for byte.  Divergence rides as the last
+// omitempty field of Forensics precisely so this holds.
+func TestPreDivergenceJournalLineByteIdentical(t *testing.T) {
+	lines := []string{
+		`{"id":"reg/0","rank":0,"trigger":100,"desc":"eax bit 3","outcome":"Crash","forensics":{"injected_at":100,"manifested_at":1350,"trap":"SIGSEGV","trap_pc":134526000,"trap_addr":3220111280,"trap_msg":"store","last_pcs":[134512640,134512648]}}`,
+		`{"id":"reg/1","rank":1,"trigger":101,"desc":"eax bit 3","outcome":"Correct"}`,
+		`{"id":"reg/2","rank":0,"trigger":102,"outcome":"Hang","detail":"distributed deadlock","forensics":{"manifested_at":900,"budget_exhausted":true}}`,
+	}
+	for _, line := range lines {
+		var je JournalEntry
+		if err := json.Unmarshal([]byte(line), &je); err != nil {
+			t.Fatalf("unmarshal %q: %v", line, err)
+		}
+		e, err := je.Experiment()
+		if err != nil {
+			t.Fatalf("Experiment() on %q: %v", line, err)
+		}
+		out, err := json.Marshal(EntryFromExperiment(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != line {
+			t.Errorf("pre-divergence line changed across round trip:\n in: %s\nout: %s", line, out)
+		}
+	}
+}
+
+// TestJournalDivergenceRoundTrip checks that a divergence record
+// survives the journal write/read cycle intact.
+func TestJournalDivergenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := CreateJournal(path, syntheticHeader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := syntheticExperiment(0, classify.Incorrect)
+	e.Forensics = syntheticForensics()
+	e.Forensics.Divergence = syntheticDivergence()
+	if err := j.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, completed, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := completed["reg/0"]
+	if got.Forensics == nil || got.Forensics.Divergence == nil {
+		t.Fatal("divergence lost in journal round trip")
+	}
+	if !reflect.DeepEqual(got.Forensics.Divergence, e.Forensics.Divergence) {
+		t.Errorf("divergence round trip:\ngot:  %+v\nwant: %+v",
+			got.Forensics.Divergence, e.Forensics.Divergence)
+	}
+}
+
+// TestSameOutcomeIgnoresDivergence: the coordinator's duplicate
+// resolution must accept two records of one experiment that differ only
+// in trace-diff enrichment.
+func TestSameOutcomeIgnoresDivergence(t *testing.T) {
+	plain := syntheticExperiment(0, classify.Incorrect)
+	rich := plain
+	rich.Forensics = &core.Forensics{Divergence: syntheticDivergence()}
+	if !SameOutcome(plain, rich) {
+		t.Error("SameOutcome rejected a divergence-only difference")
+	}
+	bad := rich
+	bad.Outcome = classify.Hang
+	if SameOutcome(plain, bad) {
+		t.Error("SameOutcome accepted an outcome disagreement")
+	}
+}
+
+// TestMergeKeepsDivergenceDuplicate: when overlapping shards record one
+// experiment with and without a divergence (one ran -trace-diff, one
+// did not), the merge keeps the localized record, in either file order.
+func TestMergeKeepsDivergenceDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	h := syntheticHeader(2)
+	write := func(name string, exps ...core.Experiment) string {
+		path := filepath.Join(dir, name)
+		j, err := CreateJournal(path, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range exps {
+			if err := j.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j.Close()
+		return path
+	}
+
+	plain0 := syntheticExperiment(0, classify.Incorrect)
+	plain0.Forensics = syntheticForensics()
+	rich0 := plain0
+	rich0.Forensics = syntheticForensics()
+	rich0.Forensics.Divergence = syntheticDivergence()
+	e1 := syntheticExperiment(1, classify.Correct)
+
+	a := write("a.jsonl", plain0, e1)
+	b := write("b.jsonl", rich0)
+	for _, order := range [][]string{{a, b}, {b, a}} {
+		m, err := MergeJournals(order)
+		if err != nil {
+			t.Fatalf("merge %v: %v", order, err)
+		}
+		var got *msgtrace.Divergence
+		for i := range m.Result.Experiments {
+			e := &m.Result.Experiments[i]
+			if e.Region == core.RegionRegularReg && e.Index == 0 {
+				got = e.Divergence()
+			}
+		}
+		if got == nil {
+			t.Errorf("merge %v dropped the divergence-bearing duplicate", order)
+		}
+	}
+}
+
+func TestWriteLocalization(t *testing.T) {
+	loc := syntheticExperiment(0, classify.Incorrect)
+	loc.Forensics = &core.Forensics{Divergence: syntheticDivergence()}
+	unloc := syntheticExperiment(1, classify.Incorrect)
+	hang := syntheticExperiment(2, classify.Hang)
+	hang.Forensics = &core.Forensics{Divergence: &msgtrace.Divergence{
+		Rank: 0, MsgIndex: 2, Kind: msgtrace.KindMissing,
+		Golden: "MPI_Recv peer=1 tag=0 bytes=8 hash=0000000000000001",
+	}}
+	correct := syntheticExperiment(3, classify.Correct)
+
+	var b strings.Builder
+	WriteLocalization(&b, []core.Experiment{loc, unloc, hang, correct})
+	out := b.String()
+	for _, want := range []string{
+		"Trace-diff localization",
+		"Incorrect",
+		"50.0%",  // 1 of 2 Incorrect localized
+		"100.0%", // 1 of 1 Hang localized
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("localization output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Crash") {
+		t.Errorf("localization table printed an outcome with no experiments:\n%s", out)
+	}
+
+	// No divergence anywhere → no output at all (keeps faultmerge quiet
+	// on journals from campaigns without -trace-diff).
+	b.Reset()
+	WriteLocalization(&b, []core.Experiment{unloc, correct})
+	if b.Len() != 0 {
+		t.Errorf("localization printed without any divergence:\n%s", b.String())
+	}
+}

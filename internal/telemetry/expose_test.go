@@ -22,11 +22,23 @@ func goldenRegistry() *Registry {
 	h.Observe(5)
 	h.Observe(50)
 	h.Observe(500)
+	reg.Counter(MetricTraceDiffed).Add(5)
+	reg.Counter(MetricTraceLocalized).Add(4)
+	reg.Counter(MetricTraceUnlocalized).Inc()
+	mi := reg.Histogram(MetricTraceDivergenceMsg, TraceMessageBuckets)
+	mi.Observe(3)
+	mi.Observe(42)
 	return reg
 }
 
 const goldenPrometheus = `# TYPE mpifault_experiments_finished_total counter
 mpifault_experiments_finished_total 3
+# TYPE mpifault_trace_diffed_total counter
+mpifault_trace_diffed_total 5
+# TYPE mpifault_trace_localized_total counter
+mpifault_trace_localized_total 4
+# TYPE mpifault_trace_unlocalized_total counter
+mpifault_trace_unlocalized_total 1
 # TYPE mpifault_vm_traps_total counter
 mpifault_vm_traps_total{signal="SIGFPE"} 1
 mpifault_vm_traps_total{signal="SIGSEGV"} 2
@@ -38,11 +50,23 @@ mpifault_crash_latency_instructions_bucket{le="100"} 2
 mpifault_crash_latency_instructions_bucket{le="+Inf"} 3
 mpifault_crash_latency_instructions_sum 555
 mpifault_crash_latency_instructions_count 3
+# TYPE mpifault_trace_divergence_msg_index histogram
+mpifault_trace_divergence_msg_index_bucket{le="1"} 0
+mpifault_trace_divergence_msg_index_bucket{le="10"} 1
+mpifault_trace_divergence_msg_index_bucket{le="100"} 2
+mpifault_trace_divergence_msg_index_bucket{le="1000"} 2
+mpifault_trace_divergence_msg_index_bucket{le="10000"} 2
+mpifault_trace_divergence_msg_index_bucket{le="+Inf"} 2
+mpifault_trace_divergence_msg_index_sum 45
+mpifault_trace_divergence_msg_index_count 2
 `
 
 const goldenJSON = `{
   "counters": {
     "mpifault_experiments_finished_total": 3,
+    "mpifault_trace_diffed_total": 5,
+    "mpifault_trace_localized_total": 4,
+    "mpifault_trace_unlocalized_total": 1,
     "mpifault_vm_traps_total{signal=\"SIGFPE\"}": 1,
     "mpifault_vm_traps_total{signal=\"SIGSEGV\"}": 2
   },
@@ -62,6 +86,25 @@ const goldenJSON = `{
       ],
       "sum": 555,
       "count": 3
+    },
+    "mpifault_trace_divergence_msg_index": {
+      "bounds": [
+        1,
+        10,
+        100,
+        1000,
+        10000
+      ],
+      "counts": [
+        0,
+        1,
+        1,
+        0,
+        0,
+        0
+      ],
+      "sum": 45,
+      "count": 2
     }
   }
 }

@@ -32,6 +32,19 @@ const (
 	MetricCrashLatency = "mpifault_crash_latency_instructions"
 	MetricHangLatency  = "mpifault_hang_latency_instructions"
 
+	// Trace-diff localization (internal/core with TraceDiff enabled).
+	// Diffed counts the Incorrect/Hang/Crash experiments whose digest
+	// streams were compared against the golden trace; localized vs
+	// unlocalized splits them by whether a first divergence was found.
+	// The histograms place the divergence on the message axis (index in
+	// the implicated rank's stream) and the instruction axis (distance
+	// from the injection, when both lie on it).
+	MetricTraceDiffed        = "mpifault_trace_diffed_total"
+	MetricTraceLocalized     = "mpifault_trace_localized_total"
+	MetricTraceUnlocalized   = "mpifault_trace_unlocalized_total"
+	MetricTraceDivergenceMsg = "mpifault_trace_divergence_msg_index"
+	MetricTraceLatency       = "mpifault_trace_divergence_latency_instructions"
+
 	// Job execution (internal/cluster, aggregated after each job so the
 	// interpreter hot path carries no telemetry).
 	MetricJobs            = "mpifault_jobs_total"
@@ -101,3 +114,10 @@ func HangMetric(cause string) string {
 // paper's "most crashes occur within a few thousand instructions"
 // (§5.2) claim is directly readable off the first three buckets.
 var LatencyBuckets = []uint64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+
+// TraceMessageBuckets is the bucket layout of the divergence
+// message-index histogram: decade buckets over the position in the
+// implicated rank's digest stream, so "the fault diverged the stream
+// within the first handful of messages" is readable off the low
+// buckets.
+var TraceMessageBuckets = []uint64{1, 10, 100, 1_000, 10_000}

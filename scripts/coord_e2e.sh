@@ -5,6 +5,13 @@
 # to the single-process run — and the coordinator's spool directory must
 # reconstruct the same bytes through `faultmerge -coord`.
 #
+# The campaign runs with -trace-diff, which adds two assertions: the
+# coordinator CSV must still match the single-process run *without*
+# tracing (the digest recorder only observes), and every worker's logged
+# golden-trace digest must equal the hash a single-process
+# `faultcampaign -trace-out` computes — the trace is a pure function of
+# (app, seed, ranks), identical on every machine.
+#
 # Environment:
 #   BIN_DIR   directory with prebuilt faultcoord/faultcampaign/faultmerge
 #             binaries (CI builds them once in a setup job); empty builds
@@ -55,9 +62,15 @@ echo "refused with: $(cat "$WORK/conflict.err")"
 echo "== single-process golden CSV =="
 "$FAULTCAMPAIGN" -app "$APP" -n "$N" -seed "$SEED" -csv -quiet >"$WORK/golden.csv"
 
+echo "== single-process traced CSV must be byte-identical =="
+"$FAULTCAMPAIGN" -app "$APP" -n "$N" -seed "$SEED" -csv -quiet \
+	-trace-diff -trace-out "$WORK/trace.json" >"$WORK/traced.csv"
+diff -u "$WORK/golden.csv" "$WORK/traced.csv"
+echo "reference golden trace: $(cat "$WORK/trace.json")"
+
 echo "== coordinator + 3 workers (one will be SIGKILLed) =="
 "$FAULTCOORD" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
-	-app "$APP" -n "$N" -seed "$SEED" \
+	-app "$APP" -n "$N" -seed "$SEED" -trace-diff \
 	-lease-size 8 -lease-ttl 2s -dir "$WORK/spool" \
 	-wait -out "$WORK/final.csv" -status 5s &
 COORD=$!
@@ -75,11 +88,13 @@ done
 URL=$(cat "$WORK/addr")
 echo "coordinator at $URL"
 
+# w2 and w3 run chatty with captured stderr: their "golden trace digest"
+# lines are the cross-machine trace-identity assertion below.
 "$FAULTCAMPAIGN" -worker "$URL" -worker-name victim -quiet &
 VICTIM=$!
-"$FAULTCAMPAIGN" -worker "$URL" -worker-name w2 -quiet &
+"$FAULTCAMPAIGN" -worker "$URL" -worker-name w2 2>"$WORK/w2.log" &
 W2=$!
-"$FAULTCAMPAIGN" -worker "$URL" -worker-name w3 -quiet &
+"$FAULTCAMPAIGN" -worker "$URL" -worker-name w3 2>"$WORK/w3.log" &
 W3=$!
 PIDS="$COORD $VICTIM $W2 $W3"
 
@@ -128,5 +143,19 @@ echo "== spool reconstruction through faultmerge -coord =="
 "$FAULTMERGE" -csv -coord "$WORK/spool" >"$WORK/merged.csv"
 diff -u "$WORK/golden.csv" "$WORK/merged.csv"
 echo "faultmerge -coord reconstruction is byte-identical too"
+
+echo "== worker golden-trace digests must match the single-process trace =="
+WANT=$(grep -o '"hash":"[0-9a-f]*"' "$WORK/trace.json" | cut -d'"' -f4)
+GOT=$(grep -h -o 'golden trace digest [0-9a-f]*' "$WORK"/w2.log "$WORK"/w3.log \
+	| awk '{print $4}' | sort -u)
+if [ -z "$GOT" ]; then
+	echo "FAIL: no surviving worker logged a golden trace digest" >&2
+	exit 1
+fi
+if [ "$GOT" != "$WANT" ]; then
+	echo "FAIL: worker trace digest(s) [$GOT] != single-process $WANT" >&2
+	exit 1
+fi
+echo "every worker computed golden trace digest $WANT"
 
 echo "coord_e2e: OK"

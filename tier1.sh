@@ -58,7 +58,9 @@ if [ "$QUICK" = "1" ]; then
 	end
 else
 	begin "go test -race"
-	go test -race ./...
+	# The campaign-differential tests in internal/core can exceed go
+	# test's 10-minute default under -race on small (1–2 CPU) hosts.
+	go test -race -timeout 30m ./...
 	end
 fi
 
@@ -74,6 +76,31 @@ else
 	# pulling leases over real HTTP, and the final CSV compared byte for
 	# byte against the single-process campaign.
 	go test -count=1 -run '^TestCoordinatorSmoke$' ./internal/coord
+	end
+fi
+
+if [ "$QUICK" = "1" ]; then
+	echo "== trace smoke skipped (TIER1_QUICK=1) =="
+else
+	begin "trace smoke"
+	# Observer-effect gate for -trace-diff: a tiny fixed-seed campaign
+	# must emit byte-identical CSV with and without the digest recorder,
+	# and the golden-trace identity file must be reproducible.
+	TRACE_TMP=$(mktemp -d)
+	trap 'rm -rf "$TRACE_TMP"' EXIT
+	go run ./cmd/faultcampaign -app wavetoy -n 4 -seed 7 -regions reg,message -csv -quiet \
+		>"$TRACE_TMP/plain.csv"
+	go run ./cmd/faultcampaign -app wavetoy -n 4 -seed 7 -regions reg,message -csv -quiet \
+		-trace-diff -trace-out "$TRACE_TMP/trace-a.json" >"$TRACE_TMP/traced.csv"
+	diff -u "$TRACE_TMP/plain.csv" "$TRACE_TMP/traced.csv"
+	go run ./cmd/faultcampaign -app wavetoy -n 4 -seed 7 -regions reg,message -csv -quiet \
+		-trace-diff -trace-out "$TRACE_TMP/trace-b.json" >/dev/null
+	diff -u "$TRACE_TMP/trace-a.json" "$TRACE_TMP/trace-b.json"
+	# The flag conflict must be a hard error, not a warning.
+	if go run ./cmd/faultcampaign -app wavetoy -n 1 -trace-diff -checkpoint-interval 12500 -quiet >/dev/null 2>&1; then
+		echo "trace smoke: -trace-diff with -checkpoint-interval was accepted" >&2
+		exit 1
+	fi
 	end
 fi
 
