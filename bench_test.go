@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mpifault/internal/abi"
+	"mpifault/internal/analysis"
 	"mpifault/internal/apps"
 	"mpifault/internal/asm"
 	"mpifault/internal/classify"
@@ -29,6 +30,7 @@ import (
 	"mpifault/internal/profile"
 	"mpifault/internal/progress"
 	"mpifault/internal/rng"
+	"mpifault/internal/sampling"
 	"mpifault/internal/trace"
 	"mpifault/internal/vm"
 )
@@ -144,6 +146,76 @@ func benchCampaignCheckpointing(b *testing.B, interval uint64) {
 func BenchmarkCampaignScratch(b *testing.B) { benchCampaignCheckpointing(b, 0) }
 func BenchmarkCampaignCheckpointed(b *testing.B) {
 	benchCampaignCheckpointing(b, core.DefaultCheckpointInterval)
+}
+
+// BenchmarkCampaignFixedN / BenchmarkCampaignAdaptive measure the
+// adaptive sequential-stopping optimization at a reduced contract
+// (d=9.8% at 95% -> cap 100/region) over one hot stratum (registers,
+// p~0.5, runs to the cap) and one quiet one (BSS, closes at its
+// AVF-sized pilot).  The adaptive run executes a strict per-region
+// prefix of the fixed design (TestAdaptiveMatchesFixedCampaign asserts
+// it), so only the spend — reported as the experiments metric — and the
+// wall clock differ.  BENCH_campaign.json records the pair,
+// informationally: campaign wall clocks are noisy.
+const benchAdaptiveTargetD = 0.098
+
+var benchAdaptiveRegions = []core.Region{core.RegionRegularReg, core.RegionBSS}
+
+func benchAdaptivePriors(b *testing.B, im *image.Image) map[core.Region]float64 {
+	b.Helper()
+	labels, err := analysis.AVFPriors(im)
+	if err != nil {
+		b.Fatal(err)
+	}
+	priors, err := core.PriorsFromLabels(labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return priors
+}
+
+func BenchmarkCampaignFixedN(b *testing.B) {
+	im, cfg := builtApp(b, "wavetoy")
+	cap, err := sampling.SampleSize(core.DefaultConfidence, benchAdaptiveTargetD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.Config{
+			Image: im, Ranks: cfg.Ranks, Regions: benchAdaptiveRegions,
+			Injections: cap, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		executed := 0
+		for _, r := range benchAdaptiveRegions {
+			t, _ := res.Tally(r)
+			executed += t.Executions
+		}
+		b.ReportMetric(float64(executed), "experiments")
+	}
+}
+
+func BenchmarkCampaignAdaptive(b *testing.B) {
+	im, cfg := builtApp(b, "wavetoy")
+	priors := benchAdaptivePriors(b, im)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunAdaptive(core.Config{
+			Image: im, Ranks: cfg.Ranks, Regions: benchAdaptiveRegions,
+			Seed: 7, Adaptive: true, TargetHalfWidth: benchAdaptiveTargetD,
+			AVFPriors: priors,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := res.Adaptive
+		b.ReportMetric(float64(st.TotalExecuted()), "experiments")
+		b.ReportMetric(float64(st.TotalExecuted())/float64(st.FixedTotal()), "spend-ratio")
+	}
 }
 
 func BenchmarkTable2Wavetoy(b *testing.B) { benchCampaign(b, "wavetoy", 4) }

@@ -120,6 +120,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -225,6 +226,12 @@ func run() int {
 	noSuperblock := flag.Bool("no-superblock", false, "run the per-instruction interpreter instead of the compiled superblock tier (differential CI legs, bisection); fixed-seed output is byte-identical either way")
 	workerURL := flag.String("worker", "", "run as a lease-pulling worker for the faultcoord coordinator at this URL; the campaign spec comes from the coordinator")
 	workerName := flag.String("worker-name", "", "worker identity in the coordinator's cluster view (default host-pid)")
+	adaptive := flag.Bool("adaptive", false, "adaptive sequential stopping: run each region in deterministic rounds and stop once its Wilson CI half-width reaches -d, instead of the fixed worst-case -n everywhere")
+	targetD := flag.Float64("d", core.DefaultTargetHalfWidth, "adaptive stopping target: per-region CI half-width (paper parity 0.049)")
+	confidence := flag.Float64("confidence", core.DefaultConfidence, "adaptive CI confidence level")
+	roundSize := flag.Int("round", 0, "adaptive per-region per-round experiment bound (0 = default)")
+	ranksOverride := flag.Int("ranks", 0, "override the application's MPI world size (rank-count sweeps; 0 = app default)")
+	scaleOverride := flag.Int("scale", 0, "override the application's per-rank problem size (0 = app default)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcampaign: ")
@@ -239,7 +246,8 @@ func run() int {
 			case "shard", "journal", "resume", "app", "n", "seed", "regions",
 				"csv", "liveness", "equivalence", "predict", "forensics",
 				"trace-diff", "trace-out",
-				"checkpoint-interval", "checkpoints":
+				"checkpoint-interval", "checkpoints",
+				"adaptive", "d", "confidence", "round", "ranks", "scale":
 				conflicts = append(conflicts, "-"+f.Name)
 			}
 		})
@@ -270,6 +278,36 @@ func run() int {
 	}
 	if *traceOut != "" && !*traceDiff {
 		log.Print("-trace-out requires -trace-diff")
+		return 1
+	}
+
+	nFlagSet := false
+	var adaptiveOnly []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "n":
+			nFlagSet = true
+		case "d", "confidence", "round":
+			adaptiveOnly = append(adaptiveOnly, "-"+f.Name)
+		}
+	})
+	if *adaptive {
+		// The adaptive planner owns the plan: it sizes each region from
+		// its own tallies, so a raw count, a shard of a fixed plan, or
+		// checkpoint tuning all contradict it.  Refuse loudly.
+		switch {
+		case nFlagSet:
+			log.Print("-adaptive sizes the campaign itself (stopping at the CI target); it cannot be combined with -n")
+			return 1
+		case *shardSpec != "":
+			log.Print("-adaptive rounds own the plan, so -shard cannot partition it; use faultcoord for distribution")
+			return 1
+		case ckptFlagSet:
+			log.Print("-adaptive reuses the golden run across rounds; it cannot be combined with -checkpoint-interval/-checkpoints")
+			return 1
+		}
+	} else if len(adaptiveOnly) > 0 {
+		log.Printf("%s require -adaptive", strings.Join(adaptiveOnly, ", "))
 		return 1
 	}
 
@@ -332,6 +370,9 @@ func run() int {
 			}
 		}()
 	}
+	// adaptiveStatus carries the latest per-stratum CI half-width summary
+	// from the planner's round barrier to the -status line.
+	var adaptiveStatus atomic.Value
 	if *statusEvery > 0 {
 		campaignStart := time.Now()
 		tick := time.NewTicker(*statusEvery)
@@ -343,7 +384,11 @@ func run() int {
 				case <-statusDone:
 					return
 				case <-tick.C:
-					fmt.Fprintln(os.Stderr, telemetry.StatusLine(metrics.Snapshot(), time.Since(campaignStart)))
+					line := telemetry.StatusLine(metrics.Snapshot(), time.Since(campaignStart))
+					if s, _ := adaptiveStatus.Load().(string); s != "" {
+						line += " | " + s
+					}
+					fmt.Fprintln(os.Stderr, line)
 				}
 			}
 		}()
@@ -423,7 +468,12 @@ func run() int {
 	}()
 
 	if !*quiet {
-		if s, err := sampling.Describe(0.95, *n); err == nil {
+		if *adaptive {
+			if cap, err := sampling.SampleSize(*confidence, *targetD); err == nil {
+				fmt.Printf("sampling: adaptive sequential stopping at d<=%.1f%% (%.0f%% confidence), fixed-n cap %d/region\n",
+					100**targetD, 100**confidence, cap)
+			}
+		} else if s, err := sampling.Describe(0.95, *n); err == nil {
 			fmt.Printf("sampling: %s\n", s)
 		}
 	}
@@ -435,7 +485,14 @@ func run() int {
 			log.Print(err)
 			return 1
 		}
-		im, err := a.Build(a.Default)
+		build := a.Default
+		if *ranksOverride > 0 {
+			build.Ranks = *ranksOverride
+		}
+		if *scaleOverride > 0 {
+			build.Scale = int32(*scaleOverride)
+		}
+		im, err := a.Build(build)
 		if err != nil {
 			log.Printf("build %s: %v", name, err)
 			return 1
@@ -443,7 +500,7 @@ func run() int {
 		start := time.Now()
 		cfg := core.Config{
 			Image:       im,
-			Ranks:       a.Default.Ranks,
+			Ranks:       build.Ranks,
 			Injections:  *n,
 			Regions:     regionList,
 			Seed:        *seed,
@@ -461,6 +518,36 @@ func run() int {
 		}
 		if *ckptInterval == 0 {
 			cfg.MaxCheckpoints = 0 // -checkpoint-interval 0 means fully off
+		}
+		if *adaptive {
+			// The planner sizes the plan itself; checkpointing is off
+			// because the golden run is computed once and reused across
+			// rounds (the same trade -forensics makes).
+			cfg.Injections = 0
+			cfg.CheckpointInterval, cfg.MaxCheckpoints = 0, 0
+			cfg.Adaptive = true
+			cfg.TargetHalfWidth = *targetD
+			cfg.Confidence = *confidence
+			cfg.RoundSize = *roundSize
+			labels, err := analysis.AVFPriors(im)
+			if err != nil {
+				log.Printf("avf priors %s: %v", name, err)
+				return 1
+			}
+			if cfg.AVFPriors, err = core.PriorsFromLabels(labels); err != nil {
+				log.Print(err)
+				return 1
+			}
+			if _, err := core.NormalizeAdaptive(&cfg); err != nil {
+				log.Print(err)
+				return 1
+			}
+			cfg.OnRound = func(st core.AdaptiveStats) {
+				adaptiveStatus.Store(st.StatusSuffix())
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "%s: round %d: %s\n", name, st.Rounds, st.StatusSuffix())
+				}
+			}
 		}
 		var prog *analysis.Program
 		var live *analysis.Liveness
@@ -527,7 +614,12 @@ func run() int {
 			}
 		}
 
-		res, err := core.Run(cfg)
+		var res *core.Result
+		if *adaptive {
+			res, err = core.RunAdaptive(cfg)
+		} else {
+			res, err = core.Run(cfg)
+		}
 		if journal != nil {
 			if cerr := journal.Close(); cerr != nil {
 				log.Printf("journal: %v", cerr)
@@ -592,6 +684,15 @@ func run() int {
 		prose := os.Stdout
 		if *csv {
 			prose = os.Stderr
+		}
+		if st := res.Adaptive; st != nil {
+			if !*csv {
+				report.WriteRates(os.Stdout, name, res, st.Confidence, st.Target, eqPolicy == core.EquivPrune)
+				fmt.Println()
+			}
+			fmt.Fprintf(prose, "%s: adaptive stopping converged in %d rounds: %d experiments vs %d fixed-n (%.2fx of the worst case)\n\n",
+				name, st.Rounds, st.TotalExecuted(), st.FixedTotal(),
+				float64(st.TotalExecuted())/float64(st.FixedTotal()))
 		}
 		if d := res.Directed; d != nil && d.Experiments > 0 {
 			fmt.Fprintf(prose, "%s: %s-directed register sampling: %.1f%% of the %d-bit space eligible -> %.1fx fewer injections for equal coverage\n\n",

@@ -64,6 +64,10 @@ func run() int {
 	regions := flag.String("regions", "", "comma-separated region subset (reg,fp,bss,data,stack,text,heap,message)")
 	equivalence := flag.String("equivalence", "", "drive register injections by the static equivalence partition (annotate, prune or audit)")
 	traceDiff := flag.Bool("trace-diff", false, "make every worker record message-digest streams and localize Incorrect/Hang/Crash outcomes against the golden trace (faultcampaign -trace-diff)")
+	adaptive := flag.Bool("adaptive", false, "adaptive sequential stopping: cut leases in deterministic planner rounds and stop each region at the CI target instead of the fixed -n (faultcampaign -adaptive)")
+	targetD := flag.Float64("d", core.DefaultTargetHalfWidth, "adaptive stopping target: per-region CI half-width (requires -adaptive)")
+	confidence := flag.Float64("confidence", core.DefaultConfidence, "adaptive CI confidence level (requires -adaptive)")
+	roundSize := flag.Int("round", 0, "adaptive per-region per-round experiment bound (0 = default; requires -adaptive)")
 	leaseSize := flag.Int("lease-size", coord.DefaultLeaseSize, "plan entries per lease (small leases steal cheaply, large ones amortize the worker's golden run)")
 	leaseTTL := flag.Duration("lease-ttl", coord.DefaultLeaseTTL, "lease deadline; a worker that has not heartbeat within this long forfeits the lease")
 	dir := flag.String("dir", "", "spool ingested journal segments to this directory (merge with faultmerge -coord)")
@@ -78,6 +82,25 @@ func run() int {
 	metrics := telemetry.New()
 	co := coord.New(coord.Config{Metrics: metrics, Dir: *dir})
 
+	nFlagSet := false
+	var adaptiveOnly []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "n":
+			nFlagSet = true
+		case "d", "confidence", "round":
+			adaptiveOnly = append(adaptiveOnly, "-"+f.Name)
+		}
+	})
+	if *adaptive && nFlagSet {
+		log.Print("-adaptive sizes the campaign itself (stopping at the CI target); it cannot be combined with -n")
+		return 1
+	}
+	if !*adaptive && len(adaptiveOnly) > 0 {
+		log.Printf("%s require -adaptive", strings.Join(adaptiveOnly, ", "))
+		return 1
+	}
+
 	if *app != "" {
 		var shorts []string
 		if *regions != "" {
@@ -90,7 +113,7 @@ func run() int {
 				shorts = append(shorts, r.Short())
 			}
 		}
-		err := co.Submit(coord.Spec{
+		spec := coord.Spec{
 			App:            *app,
 			Injections:     *n,
 			Seed:           *seed,
@@ -99,7 +122,17 @@ func run() int {
 			TraceDiff:      *traceDiff,
 			LeaseSize:      *leaseSize,
 			LeaseTTLMillis: leaseTTL.Milliseconds(),
-		})
+		}
+		if *adaptive {
+			// The planner sizes the plan; Submit normalizes the contract
+			// and computes the AVF priors the rounds are seeded with.
+			spec.Injections = 0
+			spec.Adaptive = true
+			spec.TargetHalfWidth = *targetD
+			spec.Confidence = *confidence
+			spec.RoundSize = *roundSize
+		}
+		err := co.Submit(spec)
 		if err != nil {
 			log.Print(err)
 			return 1

@@ -82,6 +82,13 @@ func run() int {
 			label = fmt.Sprintf("%s, stands in for %s", m.App, a.Paper)
 		}
 		report.WriteCampaign(os.Stdout, label, m.Result)
+		if m.Adaptive {
+			// The merge has already replayed the planner over the recorded
+			// outcomes, so the contract it prints is the one the rounds
+			// actually stopped on.
+			report.WriteRates(os.Stdout, m.App, m.Result, m.Confidence, m.Target, m.Equivalence == "prune")
+			fmt.Println()
+		}
 		report.WriteLatencyHistogram(os.Stdout, m.Result.Experiments)
 		report.WriteLocalization(os.Stdout, m.Result.Experiments)
 	}

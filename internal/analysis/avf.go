@@ -231,6 +231,43 @@ func stackRow(prog *Program, abiStats map[string]ABIStats) AVFRow {
 	return AVFRow{Region: "Stack", Sensitive: liveBytes, Total: totalBytes}
 }
 
+// Priors returns the per-region sensitivity fractions keyed by table
+// row label ("Regular Reg.", "Text", ...) — the pilot priors the
+// adaptive campaign planner seeds its first round with.  Rows with an
+// empty denominator are omitted; the planner falls back to the paper's
+// worst case 0.5 for regions it has no estimate for.  Values of exactly
+// 0 or 1 are likewise omitted (the planner treats them as unknown), so
+// the map round-trips through the journal header unchanged.
+func (rep *AVFReport) Priors() map[string]float64 {
+	out := make(map[string]float64, len(rep.Rows))
+	for _, r := range rep.Rows {
+		f := r.Fraction()
+		if r.Total == 0 || !(f > 0 && f < 1) {
+			continue
+		}
+		out[r.Region] = f
+	}
+	return out
+}
+
+// AVFPriors runs the full static pipeline (CFG, liveness, ABI audit,
+// AVF estimation) over an image and returns the per-region pilot
+// priors.  Both the single-process campaign runner and the coordinator
+// call this one function, so an adaptive campaign's priors — and hence
+// its round schedule — are identical however it is executed.  Analysis
+// findings are not fatal here: priors only steer pilot sizing, never
+// the estimates, so a program the lint pass complains about still gets
+// the fractions the estimator can compute.
+func AVFPriors(im *image.Image) (map[string]float64, error) {
+	prog, err := Analyze(im)
+	if err != nil {
+		return nil, err
+	}
+	live := ComputeLiveness(prog)
+	_, abiStats := ABICheck(prog)
+	return EstimateAVF(prog, live, abiStats, nil).Priors(), nil
+}
+
 // WriteAVF prints the prediction table.  measured, when non-empty, maps
 // region names to measured manifestation fractions for side-by-side
 // comparison (see cmd/faultcampaign -predict).

@@ -1,0 +1,122 @@
+package coord
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"net/http/httptest"
+
+	"mpifault/internal/analysis"
+	"mpifault/internal/core"
+	"mpifault/internal/report"
+	"mpifault/internal/telemetry"
+)
+
+// TestCoordinatorAdaptiveByteIdentity is the distributed half of the
+// adaptive determinism contract: a coordinator cutting round-barrier
+// leases to three workers must reproduce, byte for byte, the CSV of the
+// single-process RunAdaptive at the same (seed, contract) — and the
+// spool directory must reconstruct the same bytes through faultmerge's
+// replay-validating path.
+func TestCoordinatorAdaptiveByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adaptive cluster integration test is not short")
+	}
+	im, ranks := buildWavetoy(t)
+	regions := []core.Region{core.RegionRegularReg, core.RegionHeap}
+	const seed = 7
+	const targetD = 0.15
+
+	// The reference run must use the same AVF priors Submit computes, or
+	// the pilot rounds (and hence the executed prefixes) would differ.
+	labels, err := analysis.AVFPriors(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors, err := core.PriorsFromLabels(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunAdaptive(core.Config{
+		Image: im, Ranks: ranks, Regions: regions, Seed: seed,
+		Adaptive: true, TargetHalfWidth: targetD, AVFPriors: priors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	report.WriteCampaignCSV(&want, "wavetoy", res)
+
+	spool := t.TempDir()
+	co := New(Config{Metrics: telemetry.New(), Dir: spool})
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	if err := co.Submit(Spec{
+		App: "wavetoy", Seed: seed, Regions: []string{"reg", "heap"},
+		Adaptive: true, TargetHalfWidth: targetD,
+		LeaseSize: 16, LeaseTTLMillis: 10_000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	stop := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(stop) })
+	for _, name := range []string{"w1", "w2", "w3"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if err := RunWorker(WorkerOptions{
+				URL: srv.URL, Name: name, Poll: 25 * time.Millisecond, Stop: stop,
+			}); err != nil {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}(name)
+	}
+
+	waitDone(t, co, 5*time.Minute)
+	csv, unclassified, err := co.ResultCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unclassified != 0 {
+		t.Fatalf("%d unclassified experiments", unclassified)
+	}
+	if !bytes.Equal(csv, want.Bytes()) {
+		t.Fatalf("adaptive cluster CSV differs from single-process RunAdaptive:\n--- cluster\n%s--- single\n%s",
+			csv, want.Bytes())
+	}
+	st := co.Status()
+	if st.State != "complete" || len(st.Workers) != 3 {
+		t.Fatalf("final status %+v", st)
+	}
+	if st.Round < 1 || st.Adaptive == "" {
+		t.Fatalf("adaptive status not surfaced: %+v", st)
+	}
+	// Every stratum's spend stayed within the fixed-n cap the planner
+	// advertises in the spec.
+	if res.Adaptive.TotalExecuted() != st.Results {
+		t.Fatalf("cluster executed %d experiments, single process %d",
+			st.Results, res.Adaptive.TotalExecuted())
+	}
+
+	// Independent reconstruction: faultmerge's directory path replays the
+	// planner over the spooled segments and must emit the same bytes.
+	m, err := report.MergeDir(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Adaptive {
+		t.Error("spool merge did not recognize the adaptive contract")
+	}
+	var merged bytes.Buffer
+	report.WriteCampaignCSV(&merged, m.App, m.Result)
+	if !bytes.Equal(merged.Bytes(), want.Bytes()) {
+		t.Fatalf("faultmerge -coord reconstruction differs:\n--- merged\n%s--- single\n%s",
+			merged.Bytes(), want.Bytes())
+	}
+}

@@ -46,9 +46,11 @@ import (
 	"sync"
 	"time"
 
+	"mpifault/internal/analysis"
 	"mpifault/internal/apps"
 	"mpifault/internal/core"
 	"mpifault/internal/report"
+	"mpifault/internal/sampling"
 	"mpifault/internal/telemetry"
 )
 
@@ -68,6 +70,29 @@ type Spec struct {
 	// of (app, seed, ranks), so every worker computes the identical
 	// digest — the e2e gate compares the hashes they log.
 	TraceDiff bool `json:"trace_diff,omitempty"`
+	// Adaptive switches the campaign to the sequential-stopping planner
+	// (faultcampaign -adaptive): leases are cut round by round from
+	// core/sampling's deterministic planner instead of pre-split from the
+	// fixed plan, each round is a barrier (its leases must all complete
+	// before the tallies advance the planner), and the campaign stops
+	// each region once its Wilson CI half-width reaches TargetHalfWidth.
+	// Injections must be zero on submission; Submit sizes it to the
+	// fixed-n cap.  Because the planner is a pure function of the
+	// tallies and every outcome is a pure function of (seed, region,
+	// index), the final CSV is byte-identical to a single-process
+	// adaptive run of the same spec, whatever the worker count.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Confidence, TargetHalfWidth and RoundSize pin the estimation
+	// contract; zero values take the core defaults (95 %, 4.9 %,
+	// sampling.DefaultRoundSize).
+	Confidence      float64 `json:"confidence,omitempty"`
+	TargetHalfWidth float64 `json:"target_half_width,omitempty"`
+	RoundSize       int     `json:"round_size,omitempty"`
+	// Priors are the effective pilot priors in region order.  Submit
+	// fills them from the app's static AVF estimates when absent; they
+	// ride in every lease grant so worker journal headers record the
+	// same contract the coordinator replays.
+	Priors []float64 `json:"priors,omitempty"`
 	// LeaseSize bounds how many plan entries one lease carries; small
 	// leases steal cheaply, large leases amortize the worker's golden
 	// run.  0 means DefaultLeaseSize.
@@ -111,11 +136,15 @@ const (
 	leaseDone
 )
 
-// lease is one bounded range [Start, End) of the campaign plan.
+// lease is one bounded range [Start, End) of the campaign plan — or,
+// for adaptive campaigns, an explicit entry list cut from one planner
+// round (entries/ids non-nil, start/end unused).
 type lease struct {
 	idx        int
 	start, end int
-	gen        int // incremented at every grant; stale gens are fenced out
+	entries    []core.PlanEntry // adaptive: the exact entries this lease runs
+	ids        map[string]bool  // adaptive: membership set for ingestion
+	gen        int              // incremented at every grant; stale gens are fenced out
 	state      leaseState
 	worker     string
 	deadline   time.Time
@@ -150,6 +179,16 @@ type campaign struct {
 	queue   []int // pending lease indices, FIFO
 	results map[string]core.Experiment
 	workers map[string]*workerState
+
+	// Adaptive campaigns: the sequential planner and the per-region
+	// prefix lengths cut into leases so far.  Rounds are barriers —
+	// finishLeaseLocked advances the planner only when every cut lease
+	// has completed — so the round schedule is the same pure function of
+	// the tallies a single-process RunAdaptive computes.
+	planner  *sampling.Planner
+	executed []int // per-region entries cut into leases so far
+	round    int
+	planned  int // total entries cut so far (the adaptive plan size)
 
 	doneLeases   int
 	duplicates   int
@@ -228,15 +267,53 @@ func (m *coordMeters) worker(name string) *telemetry.Counter {
 	return c
 }
 
+// priorsMap rebuilds the region-keyed prior map from the spec's
+// region-ordered slice; nil when the lengths disagree (no priors yet).
+func priorsMap(regions []core.Region, priors []float64) map[core.Region]float64 {
+	if len(priors) != len(regions) {
+		return nil
+	}
+	m := make(map[core.Region]float64, len(regions))
+	for i, r := range regions {
+		m[r] = priors[i]
+	}
+	return m
+}
+
+// specHeader builds the journal header a worker running this spec
+// produces, without building the app image: the adaptive estimation
+// contract comes from the spec, and the equivalence policy is recorded
+// by name exactly as report.CampaignHeader does when a worker attaches
+// its computed map.  Coordinator ingestion compares worker segment
+// headers against this, so the two constructions must never drift.
+func specHeader(spec Spec, ranks int, regions []core.Region) (report.JournalHeader, error) {
+	h := report.CampaignHeader(spec.App, core.Config{
+		Ranks:           ranks,
+		Injections:      spec.Injections,
+		Regions:         regions,
+		Seed:            spec.Seed,
+		Adaptive:        spec.Adaptive,
+		Confidence:      spec.Confidence,
+		TargetHalfWidth: spec.TargetHalfWidth,
+		RoundSize:       spec.RoundSize,
+		AVFPriors:       priorsMap(regions, spec.Priors),
+	})
+	pol, err := core.ParseEquivalencePolicy(spec.Equivalence)
+	if err != nil {
+		return h, err
+	}
+	if pol != core.EquivOff {
+		h.Equivalence = pol.String()
+	}
+	return h, nil
+}
+
 // Submit installs the campaign.  A coordinator runs exactly one
 // campaign; a second submission is rejected.
 func (co *Coordinator) Submit(spec Spec) error {
 	a, err := apps.Get(spec.App)
 	if err != nil {
 		return err
-	}
-	if spec.Injections <= 0 {
-		return fmt.Errorf("coord: injections must be positive")
 	}
 	regions := core.Regions()
 	if len(spec.Regions) > 0 {
@@ -249,9 +326,6 @@ func (co *Coordinator) Submit(spec Spec) error {
 			regions = append(regions, r)
 		}
 	}
-	if _, err := core.ParseEquivalencePolicy(spec.Equivalence); err != nil {
-		return err
-	}
 	if spec.LeaseSize <= 0 {
 		spec.LeaseSize = DefaultLeaseSize
 	}
@@ -261,37 +335,102 @@ func (co *Coordinator) Submit(spec Spec) error {
 	}
 	spec.LeaseTTLMillis = ttl.Milliseconds()
 
+	var planner *sampling.Planner
+	if spec.Adaptive {
+		// Normalize the estimation contract exactly like a single-process
+		// RunAdaptive would, so the header — and hence every worker's
+		// round schedule — pins the same numbers.
+		ccfg := core.Config{
+			Adaptive:        true,
+			Injections:      spec.Injections,
+			Regions:         regions,
+			Confidence:      spec.Confidence,
+			TargetHalfWidth: spec.TargetHalfWidth,
+			RoundSize:       spec.RoundSize,
+		}
+		cap, err := core.NormalizeAdaptive(&ccfg)
+		if err != nil {
+			return err
+		}
+		spec.Injections = cap
+		spec.Confidence = ccfg.Confidence
+		spec.TargetHalfWidth = ccfg.TargetHalfWidth
+		spec.RoundSize = ccfg.RoundSize
+		if len(spec.Priors) != len(regions) {
+			// The pilot priors come from the app's static AVF estimates —
+			// the same pipeline faultcampaign -adaptive runs, so the
+			// schedules agree however the campaign is executed.
+			im, err := a.Build(a.Default)
+			if err != nil {
+				return fmt.Errorf("coord: build %s: %v", spec.App, err)
+			}
+			labels, err := analysis.AVFPriors(im)
+			if err != nil {
+				return err
+			}
+			m, err := core.PriorsFromLabels(labels)
+			if err != nil {
+				return err
+			}
+			spec.Priors = core.EffectivePriors(regions, m)
+		}
+		strata := make([]sampling.Stratum, len(regions))
+		for i, r := range regions {
+			strata[i] = sampling.Stratum{Name: r.Short(), Prior: spec.Priors[i]}
+		}
+		planner, err = sampling.NewPlanner(sampling.PlannerConfig{
+			Confidence: spec.Confidence,
+			Target:     spec.TargetHalfWidth,
+			RoundSize:  spec.RoundSize,
+		}, strata)
+		if err != nil {
+			return err
+		}
+	} else if spec.Injections <= 0 {
+		return fmt.Errorf("coord: injections must be positive")
+	}
+
 	plan := core.Plan{Regions: regions, Injections: spec.Injections}
 	short := make([]string, len(regions))
 	for i, r := range regions {
 		short[i] = r.Short()
 	}
 	spec.Regions = short
-	c := &campaign{
-		spec:    spec,
-		ranks:   a.Default.Ranks,
-		regions: regions,
-		plan:    plan,
-		ttl:     ttl,
-		header: report.CampaignHeader(spec.App, core.Config{
-			Ranks:      a.Default.Ranks,
-			Injections: spec.Injections,
-			Regions:    regions,
-			Seed:       spec.Seed,
-		}),
-		results: map[string]core.Experiment{},
-		workers: map[string]*workerState{},
-		done:    make(chan struct{}),
-		started: co.cfg.Now(),
+	header, err := specHeader(spec, a.Default.Ranks, regions)
+	if err != nil {
+		return err
 	}
-	for start := 0; start < plan.Total(); start += spec.LeaseSize {
-		end := start + spec.LeaseSize
-		if end > plan.Total() {
-			end = plan.Total()
+	c := &campaign{
+		spec:     spec,
+		ranks:    a.Default.Ranks,
+		regions:  regions,
+		plan:     plan,
+		ttl:      ttl,
+		header:   header,
+		planner:  planner,
+		executed: make([]int, len(regions)),
+		results:  map[string]core.Experiment{},
+		workers:  map[string]*workerState{},
+		done:     make(chan struct{}),
+		started:  co.cfg.Now(),
+	}
+	if spec.Adaptive {
+		// Cut only the pilot round; later rounds are cut at the barrier
+		// in finishLeaseLocked, once this round's tallies are in.
+		if c.cutRound(planner.NextRound()) == 0 {
+			return fmt.Errorf("coord: adaptive planner produced an empty pilot round")
 		}
-		l := &lease{idx: len(c.leases), start: start, end: end, segs: map[int]*segment{}}
-		c.leases = append(c.leases, l)
-		c.queue = append(c.queue, l.idx)
+	} else {
+		for start := 0; start < plan.Total(); start += spec.LeaseSize {
+			end := start + spec.LeaseSize
+			if end > plan.Total() {
+				end = plan.Total()
+			}
+			l := &lease{idx: len(c.leases), start: start, end: end, segs: map[int]*segment{}}
+			c.leases = append(c.leases, l)
+			c.queue = append(c.queue, l.idx)
+		}
+		c.planned = plan.Total()
 	}
 
 	co.mu.Lock()
@@ -306,8 +445,55 @@ func (co *Coordinator) Submit(spec Spec) error {
 	}
 	co.c = c
 	co.met.leases.Add(uint64(len(c.leases)))
-	co.met.planned.Add(uint64(plan.Total()))
+	co.met.planned.Add(uint64(c.planned))
 	return nil
+}
+
+// cutRound turns one planner round's per-region allocations into queued
+// leases of at most LeaseSize entries each, in the exact order a
+// single-process RunAdaptive executes them.  Returns the number of
+// entries cut; 0 means the planner has converged.
+func (c *campaign) cutRound(allocs []int) int {
+	entries := core.AdaptiveEntriesForRound(c.regions, c.executed, allocs)
+	if len(entries) == 0 {
+		return 0
+	}
+	for i, a := range allocs {
+		c.executed[i] += a
+	}
+	c.round++
+	c.planned += len(entries)
+	for start := 0; start < len(entries); start += c.spec.LeaseSize {
+		end := start + c.spec.LeaseSize
+		if end > len(entries) {
+			end = len(entries)
+		}
+		sub := entries[start:end]
+		ids := make(map[string]bool, len(sub))
+		for _, pe := range sub {
+			ids[pe.ID()] = true
+		}
+		l := &lease{idx: len(c.leases), entries: sub, ids: ids, segs: map[int]*segment{}}
+		c.leases = append(c.leases, l)
+		c.queue = append(c.queue, l.idx)
+	}
+	return len(entries)
+}
+
+// entryIDs returns the plan IDs a lease covers, in execution order.
+func (c *campaign) entryIDs(l *lease) []string {
+	if l.entries != nil {
+		ids := make([]string, len(l.entries))
+		for i, pe := range l.entries {
+			ids[i] = pe.ID()
+		}
+		return ids
+	}
+	ids := make([]string, 0, l.end-l.start)
+	for g := l.start; g < l.end; g++ {
+		ids = append(ids, c.plan.Entry(g).ID())
+	}
+	return ids
 }
 
 // Done returns a channel closed when the campaign completes or fails.
@@ -400,10 +586,16 @@ func (co *Coordinator) ingestSegmentLocked(l *lease, gen int, strict bool) error
 		return err
 	}
 	for id, e := range exps {
-		g, ok := c.planIndex(e)
-		if !ok || g < l.start || g >= l.end {
+		inLease := false
+		if l.ids != nil {
+			inLease = l.ids[id]
+		} else {
+			g, ok := c.planIndex(e)
+			inLease = ok && g >= l.start && g < l.end
+		}
+		if !inLease {
 			if strict {
-				return fmt.Errorf("lease %d gen %d: experiment %s outside lease range [%d,%d)", l.idx, gen, id, l.start, l.end)
+				return fmt.Errorf("lease %d gen %d: experiment %s outside the lease", l.idx, gen, id)
 			}
 			continue
 		}
@@ -457,7 +649,8 @@ func (co *Coordinator) failLocked(err error) {
 }
 
 // finishLeaseLocked marks a lease done and, when it was the last one,
-// assembles the final result.  Called with co.mu held.
+// assembles the final result — or, for an adaptive campaign, crosses
+// the round barrier.  Called with co.mu held.
 func (co *Coordinator) finishLeaseLocked(l *lease) {
 	c := co.c
 	l.state = leaseDone
@@ -470,6 +663,10 @@ func (co *Coordinator) finishLeaseLocked(l *lease) {
 	if c.doneLeases < len(c.leases) {
 		return
 	}
+	if c.spec.Adaptive {
+		co.advanceAdaptiveLocked()
+		return
+	}
 	experiments := make([]core.Experiment, 0, c.plan.Total())
 	for g := 0; g < c.plan.Total(); g++ {
 		e, ok := c.results[c.plan.Entry(g).ID()]
@@ -479,6 +676,57 @@ func (co *Coordinator) finishLeaseLocked(l *lease) {
 		}
 		experiments = append(experiments, e)
 	}
+	co.assembleLocked(experiments)
+}
+
+// advanceAdaptiveLocked is the adaptive round barrier: every cut lease
+// has completed, so the planner sees the cumulative per-region tallies
+// and either cuts the next round's leases or closes the campaign.  The
+// tallies — and therefore the rounds — are the same pure function of
+// the recorded outcomes a single-process RunAdaptive computes, which is
+// what makes the final CSV byte-identical whatever the worker count.
+// Called with co.mu held.
+func (co *Coordinator) advanceAdaptiveLocked() {
+	c := co.c
+	for i, r := range c.regions {
+		errs := 0
+		for idx := 0; idx < c.executed[i]; idx++ {
+			e, ok := c.results[core.PlanEntry{Region: r, Index: idx}.ID()]
+			if !ok {
+				co.failLocked(fmt.Errorf("coord: adaptive round %d: %s missing after all leases completed",
+					c.round, core.PlanEntry{Region: r, Index: idx}.ID()))
+				return
+			}
+			if report.ErrorOf(e) {
+				errs++
+			}
+		}
+		if err := c.planner.SetTally(i, errs, c.executed[i]); err != nil {
+			co.failLocked(err)
+			return
+		}
+	}
+	before := len(c.leases)
+	if n := c.cutRound(c.planner.NextRound()); n > 0 {
+		co.met.leases.Add(uint64(len(c.leases) - before))
+		co.met.planned.Add(uint64(n))
+		return
+	}
+	// Planner converged: the result is the per-region prefixes in plan
+	// order (the order the merge re-derives by replaying the planner).
+	experiments := make([]core.Experiment, 0, c.planned)
+	for i, r := range c.regions {
+		for idx := 0; idx < c.executed[i]; idx++ {
+			experiments = append(experiments, c.results[core.PlanEntry{Region: r, Index: idx}.ID()])
+		}
+	}
+	co.assembleLocked(experiments)
+}
+
+// assembleLocked renders the final CSV from the complete experiment set
+// and closes the campaign.  Called with co.mu held.
+func (co *Coordinator) assembleLocked(experiments []core.Experiment) {
+	c := co.c
 	res := &core.Result{
 		Tallies:      core.TallyExperiments(c.regions, experiments),
 		Experiments:  experiments,
@@ -502,6 +750,9 @@ type leaseGrant struct {
 	TTLMs int64 `json:"ttl_ms"`
 	Ranks int   `json:"ranks"`
 	Spec  Spec  `json:"spec"`
+	// Entries, when non-empty, is the explicit plan-entry ID list of an
+	// adaptive round lease; Start/End are then meaningless.
+	Entries []string `json:"entries,omitempty"`
 }
 
 // WorkerStatus is one row of the cluster view.
@@ -530,6 +781,12 @@ type ClusterStatus struct {
 	RatePerSec    float64        `json:"rate_per_sec"`
 	ETASeconds    float64        `json:"eta_seconds"`
 	Error         string         `json:"error,omitempty"`
+	// Adaptive campaigns: the round the planner is in and the
+	// per-stratum CI half-width summary (core.AdaptiveStats.StatusSuffix
+	// format).  PlanTotal then counts the entries cut so far, which
+	// grows round by round.
+	Round    int    `json:"round,omitempty"`
+	Adaptive string `json:"adaptive,omitempty"`
 }
 
 // Status returns the live cluster view.
@@ -546,11 +803,28 @@ func (co *Coordinator) Status() ClusterStatus {
 		App:         c.spec.App,
 		Seed:        c.spec.Seed,
 		Injections:  c.spec.Injections,
-		PlanTotal:   c.plan.Total(),
+		PlanTotal:   c.planned,
 		Results:     len(c.results),
 		Duplicates:  c.duplicates,
 		LeasesTotal: len(c.leases),
 		LeasesDone:  c.doneLeases,
+	}
+	if c.spec.Adaptive && c.planner != nil {
+		s.Round = c.round
+		stats := core.AdaptiveStats{
+			Confidence: c.spec.Confidence,
+			Target:     c.spec.TargetHalfWidth,
+			RoundSize:  c.spec.RoundSize,
+			Cap:        c.planner.Cap(),
+			Rounds:     c.round,
+		}
+		for i, st := range c.planner.Snapshot() {
+			stats.Strata = append(stats.Strata, core.AdaptiveStratum{
+				Region: c.regions[i], Prior: st.Prior, Executed: st.Executed,
+				Errors: st.Errors, HalfWidth: st.HalfWidth, Closed: st.Closed,
+			})
+		}
+		s.Adaptive = stats.StatusSuffix()
 	}
 	for _, l := range c.leases {
 		switch l.state {
@@ -648,10 +922,14 @@ func (co *Coordinator) Acquire(worker string) (leaseGrant, bool, error) {
 	c.workers[worker].lease = idx
 	co.met.granted.Inc()
 	co.met.active.Add(1)
-	return leaseGrant{
+	grant := leaseGrant{
 		Lease: l.idx, Gen: l.gen, Start: l.start, End: l.end,
 		TTLMs: c.ttl.Milliseconds(), Ranks: c.ranks, Spec: c.spec,
-	}, true, nil
+	}
+	if l.entries != nil {
+		grant.Entries = c.entryIDs(l)
+	}
+	return grant, true, nil
 }
 
 var errCampaignDone = fmt.Errorf("campaign complete")
@@ -795,14 +1073,14 @@ func (co *Coordinator) Complete(idx, gen int, worker string) error {
 	if co.c.failedErr != nil {
 		return co.c.failedErr
 	}
-	for g := l.start; g < l.end; g++ {
-		if _, ok := co.c.results[co.c.plan.Entry(g).ID()]; !ok {
+	for _, id := range co.c.entryIDs(l) {
+		if _, ok := co.c.results[id]; !ok {
 			l.state = leasePending
 			l.expired = true
 			co.c.queue = append(co.c.queue, l.idx)
 			co.met.expired.Inc()
 			co.met.active.Add(-1)
-			return fmt.Errorf("lease %d gen %d: segment missing entry %s", idx, gen, co.c.plan.Entry(g).ID())
+			return fmt.Errorf("lease %d gen %d: segment missing entry %s", idx, gen, id)
 		}
 	}
 	co.finishLeaseLocked(l)

@@ -341,10 +341,38 @@ func (w *worker) runLease(grant leaseGrant) error {
 			return err
 		}
 	}
-	plan := core.Plan{Regions: regions, Injections: spec.Injections}
-	entries := plan.Range(grant.Start, grant.End)
-	if len(entries) != grant.End-grant.Start {
-		return fmt.Errorf("lease range [%d,%d) outside the plan", grant.Start, grant.End)
+	var entries []core.PlanEntry
+	if len(grant.Entries) > 0 {
+		// An adaptive round lease names its entries explicitly; the
+		// planner owns the plan, so the worker just validates each one
+		// against the campaign's region list and cap.
+		entries = make([]core.PlanEntry, len(grant.Entries))
+		for i, id := range grant.Entries {
+			pe, err := core.ParseEntryID(id)
+			if err != nil {
+				return err
+			}
+			if pe.Index < 0 || pe.Index >= spec.Injections {
+				return fmt.Errorf("lease entry %s outside the plan cap %d", id, spec.Injections)
+			}
+			found := false
+			for _, r := range regions {
+				if r == pe.Region {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("lease entry %s names a region outside the campaign", id)
+			}
+			entries[i] = pe
+		}
+	} else {
+		plan := core.Plan{Regions: regions, Injections: spec.Injections}
+		entries = plan.Range(grant.Start, grant.End)
+		if len(entries) != grant.End-grant.Start {
+			return fmt.Errorf("lease range [%d,%d) outside the plan", grant.Start, grant.End)
+		}
 	}
 
 	golden := wa.golden
@@ -366,6 +394,16 @@ func (w *worker) runLease(grant leaseGrant) error {
 		Equivalence:       wa.equivalence,
 		EquivalencePolicy: wa.eqPolicy,
 		TraceDiff:         spec.TraceDiff,
+
+		// Adaptive campaigns: core.Run ignores these (the coordinator
+		// owns the planner), but the journal header derives from them, so
+		// the segment this worker streams back must pin the identical
+		// estimation contract the coordinator replays at merge time.
+		Adaptive:        spec.Adaptive,
+		Confidence:      spec.Confidence,
+		TargetHalfWidth: spec.TargetHalfWidth,
+		RoundSize:       spec.RoundSize,
+		AVFPriors:       priorsMap(regions, spec.Priors),
 	}
 	seg := &segmentWriter{}
 	seg.appendLine(report.CampaignHeader(spec.App, cfg))

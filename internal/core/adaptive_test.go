@@ -1,0 +1,242 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mpifault/internal/classify"
+	"mpifault/internal/sampling"
+)
+
+// The differential tests run at a loose d so the per-region caps stay
+// small (d=0.15 at 95 % -> cap 43): the contract under test — prefix
+// subsetting, byte-identity, replay — is the same at any d.
+const testTargetD = 0.15
+
+var adaptiveTestRegions = []Region{RegionRegularReg, RegionData, RegionHeap, RegionMessage}
+
+func runAdaptiveTest(t testing.TB, app string, regions []Region, seed uint64) (*Result, Config) {
+	t.Helper()
+	im, ranks := buildApp(t, app)
+	cfg := Config{
+		Image: im, Ranks: ranks, Regions: regions, Seed: seed,
+		Adaptive: true, TargetHalfWidth: testTargetD,
+		KeepExperiments: true,
+	}
+	res, err := RunAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adaptive == nil {
+		t.Fatal("adaptive run returned no planner stats")
+	}
+	return res, cfg
+}
+
+// TestAdaptiveMatchesFixedCampaign is the differential gate: on every
+// app, the adaptive campaign must (a) execute a strict per-region prefix
+// of the fixed-n campaign's experiment sequence with identical outcomes,
+// (b) spend no more than the fixed design, and (c) land its per-region
+// rate estimates within the combined CI of the fixed-n estimates.
+func TestAdaptiveMatchesFixedCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign differential is slow")
+	}
+	cap, err := sampling.SampleSize(DefaultConfidence, testTargetD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"wavetoy", "minimd", "minicam"} {
+		t.Run(app, func(t *testing.T) {
+			adaptive, _ := runAdaptiveTest(t, app, adaptiveTestRegions, 11)
+			im, ranks := buildApp(t, app)
+			fixed, err := Run(Config{
+				Image: im, Ranks: ranks, Regions: adaptiveTestRegions, Seed: 11,
+				Injections: cap, KeepExperiments: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// (a) Subset with identical outcomes: every adaptive experiment
+			// appears in the fixed campaign and agrees bit for bit on what
+			// happened — the planner chooses WHICH indices run, never what
+			// they do.
+			byID := make(map[string]Experiment, len(fixed.Experiments))
+			for _, e := range fixed.Experiments {
+				byID[e.ID()] = e
+			}
+			for _, e := range adaptive.Experiments {
+				f, ok := byID[e.ID()]
+				if !ok {
+					t.Fatalf("adaptive experiment %s not in the fixed campaign", e.ID())
+				}
+				if e.Outcome != f.Outcome || e.Trigger != f.Trigger || e.Rank != f.Rank {
+					t.Fatalf("experiment %s diverged: adaptive %+v, fixed %+v", e.ID(), e, f)
+				}
+				// Message-region Desc records the offset within the packet
+				// that happened to deliver the trigger byte, and a rank's
+				// inbox interleaves data with header-only control packets in
+				// goroutine-arrival order — a pre-existing wobble of the
+				// label (never the trigger or the outcome), so Desc is only
+				// compared for the machine-state regions.
+				if e.Region != RegionMessage && e.Desc != f.Desc {
+					t.Fatalf("experiment %s desc diverged: %q vs %q", e.ID(), e.Desc, f.Desc)
+				}
+			}
+			// ... and per region it is a gapless prefix [0, n_r).
+			next := make(map[Region]int)
+			sorted := append([]Experiment(nil), adaptive.Experiments...)
+			SortExperimentsByPlan(adaptiveTestRegions, sorted)
+			for _, e := range sorted {
+				if e.Index != next[e.Region] {
+					t.Fatalf("%s: index %d breaks the prefix (want %d)", e.Region, e.Index, next[e.Region])
+				}
+				next[e.Region]++
+			}
+
+			// (b) Never more expensive than the worst case.
+			st := adaptive.Adaptive
+			if st.TotalExecuted() > st.FixedTotal() {
+				t.Errorf("adaptive spent %d > fixed %d", st.TotalExecuted(), st.FixedTotal())
+			}
+			for _, s := range st.Strata {
+				if s.Executed > cap {
+					t.Errorf("%s executed %d beyond the cap %d", s.Region, s.Executed, cap)
+				}
+				if !s.Closed {
+					t.Errorf("%s never closed", s.Region)
+				}
+			}
+
+			// (c) Rate agreement within the combined intervals.
+			for _, r := range adaptiveTestRegions {
+				ta, _ := adaptive.Tally(r)
+				tf, _ := fixed.Tally(r)
+				if ta.Executions == 0 || tf.Executions == 0 {
+					t.Fatalf("%s: empty tally (adaptive %d, fixed %d)", r, ta.Executions, tf.Executions)
+				}
+				pa := float64(ta.Errors()) / float64(ta.Executions)
+				pf := float64(tf.Errors()) / float64(tf.Executions)
+				hwA, err := sampling.WilsonHalfWidth(DefaultConfidence, ta.Errors(), ta.Executions)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hwF, err := sampling.WilsonHalfWidth(DefaultConfidence, tf.Errors(), tf.Executions)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if diff := pa - pf; diff > hwA+hwF || -diff > hwA+hwF {
+					t.Errorf("%s: adaptive %.3f vs fixed %.3f disagree beyond the combined CI %.3f",
+						r, pa, pf, hwA+hwF)
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveRerunByteIdentical: a fixed (seed, config) adaptive
+// campaign is fully deterministic — same rounds, same experiments in the
+// same order, same tallies, same planner trace.
+func TestAdaptiveRerunByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test is slow")
+	}
+	regions := []Region{RegionRegularReg, RegionHeap}
+	a, _ := runAdaptiveTest(t, "wavetoy", regions, 7)
+	b, _ := runAdaptiveTest(t, "wavetoy", regions, 7)
+	if !reflect.DeepEqual(a.Experiments, b.Experiments) {
+		t.Error("experiment sequences diverged between identical runs")
+	}
+	if !reflect.DeepEqual(a.Tallies, b.Tallies) {
+		t.Error("tallies diverged between identical runs")
+	}
+	if !reflect.DeepEqual(a.Adaptive, b.Adaptive) {
+		t.Error("planner stats diverged between identical runs")
+	}
+}
+
+// TestAdaptiveReplayMatchesRecorded: the journal self-validation
+// property — replaying the planner over the recorded outcomes must land
+// on exactly the executed counts the campaign recorded.
+func TestAdaptiveReplayMatchesRecorded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test is slow")
+	}
+	regions := []Region{RegionRegularReg, RegionHeap}
+	res, cfg := runAdaptiveTest(t, "wavetoy", regions, 7)
+	if _, err := NormalizeAdaptive(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	outcomes := make(map[Region]map[int]bool)
+	for _, e := range res.Experiments {
+		if outcomes[e.Region] == nil {
+			outcomes[e.Region] = make(map[int]bool)
+		}
+		outcomes[e.Region][e.Index] = e.Outcome != classify.Correct
+	}
+	priors := EffectivePriors(regions, cfg.AVFPriors)
+	executed, err := ReplayAdaptive(cfg.Confidence, cfg.TargetHalfWidth, cfg.RoundSize, regions, priors,
+		func(region, index int) (bool, error) {
+			m, ok := outcomes[regions[region]][index]
+			if !ok {
+				t.Fatalf("replay consulted unrecorded experiment %s:%d", regions[region], index)
+			}
+			return m, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Adaptive.Strata {
+		if executed[i] != s.Executed {
+			t.Errorf("%s: replay derived %d executed, campaign recorded %d", s.Region, executed[i], s.Executed)
+		}
+	}
+}
+
+func TestNormalizeAdaptiveValidation(t *testing.T) {
+	base := func() Config {
+		return Config{Adaptive: true, Regions: []Region{RegionRegularReg}}
+	}
+
+	cfg := base()
+	cap, err := NormalizeAdaptive(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Confidence != DefaultConfidence || cfg.TargetHalfWidth != DefaultTargetHalfWidth {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Injections != cap {
+		t.Errorf("Injections %d, want the cap %d", cfg.Injections, cap)
+	}
+	// Idempotent: a second normalization (RunAdaptive's own) is a no-op.
+	snapshot := cfg
+	if _, err := NormalizeAdaptive(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snapshot, cfg) {
+		t.Errorf("normalization not idempotent: %+v vs %+v", snapshot, cfg)
+	}
+
+	cfg = base()
+	cfg.NumShards = 3
+	if _, err := NormalizeAdaptive(&cfg); err == nil {
+		t.Error("sharded adaptive accepted")
+	}
+	cfg = base()
+	cfg.Entries = []PlanEntry{{Region: RegionRegularReg}}
+	if _, err := NormalizeAdaptive(&cfg); err == nil {
+		t.Error("explicit entries accepted")
+	}
+	cfg = base()
+	cfg.CheckpointInterval = 1000
+	if _, err := NormalizeAdaptive(&cfg); err == nil {
+		t.Error("checkpointing accepted")
+	}
+	cfg = base()
+	cfg.Injections = 17
+	if _, err := NormalizeAdaptive(&cfg); err == nil {
+		t.Error("foreign injection count accepted")
+	}
+}

@@ -247,6 +247,32 @@ type Config struct {
 	// outcomes, CSV and journal are byte-identical either way; the flag
 	// exists so CI legs and bisection can prove exactly that.
 	DisableSuperblocks bool
+	// Adaptive selects the sequential-stopping planner (see adaptive.go
+	// and internal/sampling): the campaign runs in deterministic rounds
+	// and stops each region once its Wilson CI half-width reaches
+	// TargetHalfWidth, instead of spending the fixed worst-case count
+	// everywhere.  Adaptive campaigns go through RunAdaptive, which sizes
+	// Injections itself (the fixed-n cap) — callers leave it zero.  Run
+	// ignores this field; it only labels the configuration for journal
+	// headers and validation.
+	Adaptive bool
+	// TargetHalfWidth is the adaptive stopping target d; 0 means
+	// DefaultTargetHalfWidth (the paper's 4.9 %).
+	TargetHalfWidth float64
+	// Confidence is the adaptive CI level; 0 means DefaultConfidence (95 %).
+	Confidence float64
+	// RoundSize bounds how many experiments one adaptive round adds to a
+	// single stratum; 0 means sampling.DefaultRoundSize.
+	RoundSize int
+	// AVFPriors supplies static per-region manifestation priors (from
+	// the analysis AVF predictor) that size the adaptive pilot round;
+	// regions without a prior assume the worst case 0.5.  Priors affect
+	// only how fast strata converge, never the estimates.
+	AVFPriors map[Region]float64
+	// OnRound, when non-nil, is called after each adaptive round with
+	// the planner's progress — per-stratum CI half-widths for the
+	// -status line.  Calls are serialized with the round barrier.
+	OnRound func(AdaptiveStats)
 }
 
 // Tally aggregates outcomes for one region.
@@ -300,6 +326,9 @@ type Result struct {
 	// Checkpoints summarizes golden-run checkpoint usage; nil when
 	// checkpointing was not enabled.
 	Checkpoints *CheckpointStats
+	// Adaptive summarizes the sequential-stopping planner's rounds and
+	// per-stratum convergence; nil for fixed-n campaigns.
+	Adaptive *AdaptiveStats
 }
 
 // Tally returns the tally for a region, if present.
@@ -569,34 +598,10 @@ dispatch:
 		}
 	}
 	if cfg.Liveness != nil {
-		d := &DirectedStats{Policy: cfg.LivenessPolicy}
-		for i := range ran {
-			if ran[i].Region != RegionRegularReg {
-				continue
-			}
-			d.Experiments++
-			d.Candidates += uint64(ran[i].Candidates)
-			d.Total += RegisterSpaceBits
-		}
-		res.Directed = d
+		res.Directed = directedStatsFor(cfg.LivenessPolicy, ran)
 	}
 	if cfg.Equivalence != nil && cfg.EquivalencePolicy != EquivOff {
-		s := &EquivalenceStats{Policy: cfg.EquivalencePolicy}
-		classes := make(map[uint64]bool)
-		for i := range ran {
-			if ran[i].Region != RegionRegularReg {
-				continue
-			}
-			s.Experiments++
-			s.Candidates += uint64(ran[i].Candidates)
-			s.BenignBits += uint64(ran[i].BenignBits)
-			s.Total += RegisterSpaceBits
-			if ran[i].ClassID != 0 {
-				classes[ran[i].ClassID] = true
-			}
-		}
-		s.Classes = len(classes)
-		res.Equivalence = s
+		res.Equivalence = equivalenceStatsFor(cfg.EquivalencePolicy, ran)
 	}
 	res.Tallies = TallyExperiments(cfg.Regions, ran)
 	res.Unclassified = CountUnapplied(ran)
@@ -604,6 +609,42 @@ dispatch:
 		res.Experiments = ran
 	}
 	return res, nil
+}
+
+// directedStatsFor aggregates the candidate-space pruning summary of a
+// liveness-directed campaign from its finished experiments.
+func directedStatsFor(policy LivenessPolicy, ran []Experiment) *DirectedStats {
+	d := &DirectedStats{Policy: policy}
+	for i := range ran {
+		if ran[i].Region != RegionRegularReg {
+			continue
+		}
+		d.Experiments++
+		d.Candidates += uint64(ran[i].Candidates)
+		d.Total += RegisterSpaceBits
+	}
+	return d
+}
+
+// equivalenceStatsFor aggregates the class-sampling summary of an
+// equivalence-driven campaign from its finished experiments.
+func equivalenceStatsFor(policy EquivalencePolicy, ran []Experiment) *EquivalenceStats {
+	s := &EquivalenceStats{Policy: policy}
+	classes := make(map[uint64]bool)
+	for i := range ran {
+		if ran[i].Region != RegionRegularReg {
+			continue
+		}
+		s.Experiments++
+		s.Candidates += uint64(ran[i].Candidates)
+		s.BenignBits += uint64(ran[i].BenignBits)
+		s.Total += RegisterSpaceBits
+		if ran[i].ClassID != 0 {
+			classes[ran[i].ClassID] = true
+		}
+	}
+	s.Classes = len(classes)
+	return s
 }
 
 // campaignCtx bundles the per-campaign immutable state the workers share,

@@ -41,6 +41,27 @@ type JournalHeader struct {
 	Ranks      int      `json:"ranks"`
 	Shard      int      `json:"shard"`
 	NumShards  int      `json:"num_shards"`
+
+	// Adaptive campaigns (core.RunAdaptive) pin their whole estimation
+	// contract in the header: with the confidence, target half-width,
+	// round size and pilot priors recorded, a merge can replay the
+	// deterministic planner over the journal's outcomes and verify the
+	// recorded per-region counts are exactly where the stopping rule
+	// landed.  Injections then holds the per-stratum fixed-n cap.
+	// Fixed-n journals omit all four fields, so old journals parse
+	// unchanged.
+	Adaptive   bool      `json:"adaptive,omitempty"`
+	Target     float64   `json:"target_half_width,omitempty"`
+	Confidence float64   `json:"confidence,omitempty"`
+	RoundSize  int       `json:"round_size,omitempty"`
+	Priors     []float64 `json:"priors,omitempty"` // effective pilot priors, plan order
+
+	// Equivalence records the class-sampling policy (annotate/prune/
+	// audit) when the campaign ran with an equivalence map.  Pruning
+	// changes which bits experiments flip, so journals only merge when
+	// they agree on it; recording it also lets faultmerge decide whether
+	// the Horvitz–Thompson reweighted columns are sound (prune only).
+	Equivalence string `json:"equivalence,omitempty"`
 }
 
 // CampaignHeader builds the journal header for one application campaign.
@@ -59,7 +80,7 @@ func CampaignHeader(app string, cfg core.Config) JournalHeader {
 	if numShards <= 0 {
 		numShards = 1
 	}
-	return JournalHeader{
+	h := JournalHeader{
 		Format:     JournalFormat,
 		Version:    JournalVersion,
 		App:        app,
@@ -70,10 +91,22 @@ func CampaignHeader(app string, cfg core.Config) JournalHeader {
 		Shard:      cfg.Shard,
 		NumShards:  numShards,
 	}
+	if cfg.Adaptive {
+		h.Adaptive = true
+		h.Target = cfg.TargetHalfWidth
+		h.Confidence = cfg.Confidence
+		h.RoundSize = cfg.RoundSize
+		h.Priors = core.EffectivePriors(regions, cfg.AVFPriors)
+	}
+	if cfg.Equivalence != nil && cfg.EquivalencePolicy != core.EquivOff {
+		h.Equivalence = cfg.EquivalencePolicy.String()
+	}
+	return h
 }
 
 // SameCampaign reports whether two headers describe shards of the same
-// campaign (everything but the shard coordinates must match).
+// campaign (everything but the shard coordinates must match, including
+// the adaptive estimation contract when present).
 func (h JournalHeader) SameCampaign(o JournalHeader) bool {
 	if h.App != o.App || h.Seed != o.Seed || h.Injections != o.Injections ||
 		h.Ranks != o.Ranks || len(h.Regions) != len(o.Regions) {
@@ -81,6 +114,16 @@ func (h JournalHeader) SameCampaign(o JournalHeader) bool {
 	}
 	for i := range h.Regions {
 		if h.Regions[i] != o.Regions[i] {
+			return false
+		}
+	}
+	if h.Adaptive != o.Adaptive || h.Target != o.Target ||
+		h.Confidence != o.Confidence || h.RoundSize != o.RoundSize ||
+		h.Equivalence != o.Equivalence || len(h.Priors) != len(o.Priors) {
+		return false
+	}
+	for i := range h.Priors {
+		if h.Priors[i] != o.Priors[i] {
 			return false
 		}
 	}
@@ -357,6 +400,15 @@ type Merged struct {
 	Ranks      int
 	Regions    []core.Region
 	Journals   int
+	// Adaptive campaigns carry their estimation contract through so the
+	// rate table can label its CI columns; Injections is then the
+	// per-stratum cap, not the executed count.
+	Adaptive   bool
+	Confidence float64
+	Target     float64
+	// Equivalence is the recorded class-sampling policy name ("" when
+	// the campaign ran without an equivalence map).
+	Equivalence string
 	// Result carries the merged tallies and experiments; rendering it
 	// with WriteCampaignCSV / WriteCampaign reproduces the
 	// single-process campaign's output byte for byte.
@@ -426,33 +478,84 @@ func MergeJournals(paths []string) (*Merged, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan := core.Plan{Regions: regions, Injections: base.Injections}
-	experiments := make([]core.Experiment, 0, plan.Total())
-	var missing []string
-	for g := 0; g < plan.Total(); g++ {
-		pe := plan.Entry(g)
-		e, ok := byID[pe.ID()]
-		if !ok {
-			missing = append(missing, pe.ID())
-			continue
+	var experiments []core.Experiment
+	if base.Adaptive {
+		experiments, err = assembleAdaptive(base, regions, byID)
+		if err != nil {
+			return nil, err
 		}
-		experiments = append(experiments, e)
-	}
-	if len(missing) > 0 {
-		return nil, fmt.Errorf("report: merge incomplete: %d of %d experiments missing (first: %s) — rerun the missing shards or resume them from their journals",
-			len(missing), plan.Total(), missing[0])
+	} else {
+		plan := core.Plan{Regions: regions, Injections: base.Injections}
+		experiments = make([]core.Experiment, 0, plan.Total())
+		var missing []string
+		for g := 0; g < plan.Total(); g++ {
+			pe := plan.Entry(g)
+			e, ok := byID[pe.ID()]
+			if !ok {
+				missing = append(missing, pe.ID())
+				continue
+			}
+			experiments = append(experiments, e)
+		}
+		if len(missing) > 0 {
+			return nil, fmt.Errorf("report: merge incomplete: %d of %d experiments missing (first: %s) — rerun the missing shards or resume them from their journals",
+				len(missing), plan.Total(), missing[0])
+		}
 	}
 
 	res := &core.Result{Experiments: experiments}
 	res.Tallies = core.TallyExperiments(regions, experiments)
 	res.Unclassified = core.CountUnapplied(experiments)
 	return &Merged{
-		App:        base.App,
-		Seed:       base.Seed,
-		Injections: base.Injections,
-		Ranks:      base.Ranks,
-		Regions:    regions,
-		Journals:   len(paths),
-		Result:     res,
+		App:         base.App,
+		Seed:        base.Seed,
+		Injections:  base.Injections,
+		Ranks:       base.Ranks,
+		Regions:     regions,
+		Journals:    len(paths),
+		Adaptive:    base.Adaptive,
+		Confidence:  base.Confidence,
+		Target:      base.Target,
+		Equivalence: base.Equivalence,
+		Result:      res,
 	}, nil
+}
+
+// assembleAdaptive reconstructs an adaptive campaign from the merged
+// experiment set by replaying the deterministic planner over the
+// recorded outcomes: the replay dictates exactly which (region, index)
+// pairs the campaign must contain, missing ones fail the merge, and
+// extras mean the journal was not produced by the recorded contract.
+// Experiments come back in plan order (region order, index ascending),
+// the order WriteCampaignCSV tallies are insensitive to but segment
+// re-emission depends on.
+func assembleAdaptive(base JournalHeader, regions []core.Region, byID map[string]core.Experiment) ([]core.Experiment, error) {
+	counts, err := core.ReplayAdaptive(base.Confidence, base.Target, base.RoundSize, regions, base.Priors,
+		func(ri, idx int) (bool, error) {
+			pe := core.PlanEntry{Region: regions[ri], Index: idx}
+			e, ok := byID[pe.ID()]
+			if !ok {
+				return false, fmt.Errorf("report: merge incomplete: the adaptive planner requires %s, which no journal records", pe.ID())
+			}
+			return e.Outcome != classify.Correct, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(byID) {
+		return nil, fmt.Errorf("report: journals record %d experiments but the adaptive planner replay expects %d — not a completed campaign under the recorded contract",
+			len(byID), total)
+	}
+	experiments := make([]core.Experiment, 0, total)
+	for ri, n := range counts {
+		for idx := 0; idx < n; idx++ {
+			pe := core.PlanEntry{Region: regions[ri], Index: idx}
+			experiments = append(experiments, byID[pe.ID()])
+		}
+	}
+	return experiments, nil
 }

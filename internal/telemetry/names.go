@@ -75,6 +75,12 @@ const (
 	MetricCoordWorkers         = "mpifault_coord_workers"
 	MetricCoordPlanTotal       = "mpifault_coord_plan_experiments_total"
 
+	// Adaptive sequential-stopping planner (internal/core RunAdaptive).
+	// Rounds counts planner barriers crossed; the open gauge tracks how
+	// many strata still miss their CI target (0 = converged).
+	MetricAdaptiveRounds = "mpifault_adaptive_rounds_total"
+	MetricAdaptiveOpen   = "mpifault_adaptive_strata_open"
+
 	// §7 progress-metric detector (internal/progress).
 	MetricProgressRate          = "mpifault_progress_rate"
 	MetricProgressBaseline      = "mpifault_progress_baseline"
@@ -96,6 +102,13 @@ func OutcomeMetric(outcome string) string {
 // coordinator's cluster view (e.g. worker "w1").
 func WorkerMetric(worker string) string {
 	return "mpifault_coord_worker_results_total{worker=" + strconv.Quote(worker) + "}"
+}
+
+// AdaptiveHalfWidthMetric names the gauge holding a stratum's current
+// Wilson CI half-width in basis points (1e-4), keyed by region short
+// name (e.g. "reg").
+func AdaptiveHalfWidthMetric(region string) string {
+	return "mpifault_adaptive_halfwidth_bp{region=" + strconv.Quote(region) + "}"
 }
 
 // TrapMetric names the counter of VM traps of the given kind (e.g.

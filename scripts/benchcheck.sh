@@ -33,15 +33,16 @@ go test -run '^$' -bench . -benchtime "$BENCHTIME" -count "$COUNT" ./internal/vm
 echo "== compare vs BENCH_vm.json (threshold ${THRESHOLD}%) =="
 go run ./scripts/benchcmp -ref BENCH_vm.json -threshold "$THRESHOLD" < "$OUT"
 
-# Campaign-level checkpointing benchmarks (informational, never blocks).
+# Campaign-level checkpointing and adaptive-sampling benchmarks
+# (informational, never blocks).
 # These run whole wavetoy campaigns (~0.5s per iteration) so they are far
 # noisier than the interpreter microbenchmarks above; the comparison
 # against BENCH_campaign.json is printed for the log but a regression
 # here does not fail the script.  Skip entirely with CAMPAIGN=0.
 if [ "${CAMPAIGN:-1}" != "0" ]; then
-    echo "== campaign checkpointing benchmarks (informational) =="
+    echo "== campaign checkpointing + adaptive benchmarks (informational) =="
     CAMPOUT=$(mktemp)
-    go test -run '^$' -bench 'BenchmarkCampaign(Scratch|Checkpointed)$' \
+    go test -run '^$' -bench 'BenchmarkCampaign(Scratch|Checkpointed|FixedN|Adaptive)$' \
         -benchtime "${CAMPAIGN_BENCHTIME:-3x}" -count "${CAMPAIGN_COUNT:-1}" . \
         | tee "$CAMPOUT"
     go run ./scripts/benchcmp -ref BENCH_campaign.json -threshold "$THRESHOLD" < "$CAMPOUT" \

@@ -105,6 +105,37 @@ else
 fi
 
 if [ "$QUICK" = "1" ]; then
+	echo "== adaptive smoke skipped (TIER1_QUICK=1) =="
+else
+	begin "adaptive smoke"
+	# Determinism gate for -adaptive: a small sequential-stopping campaign
+	# (loose d so the caps stay tiny) must emit byte-identical CSV across
+	# reruns, and the flag conflicts must be hard errors.
+	ADAPT_TMP=$(mktemp -d)
+	trap 'rm -rf "$TRACE_TMP" "$ADAPT_TMP"' EXIT
+	go run ./cmd/faultcampaign -app wavetoy -adaptive -d 0.12 -seed 7 -regions reg,heap -csv -quiet \
+		>"$ADAPT_TMP/a.csv" 2>/dev/null
+	go run ./cmd/faultcampaign -app wavetoy -adaptive -d 0.12 -seed 7 -regions reg,heap -csv -quiet \
+		>"$ADAPT_TMP/b.csv" 2>/dev/null
+	diff -u "$ADAPT_TMP/a.csv" "$ADAPT_TMP/b.csv"
+	# -adaptive owns the sample size and is single-process: -n and -shard
+	# must be rejected, as must the adaptive knobs without -adaptive.
+	if go run ./cmd/faultcampaign -app wavetoy -adaptive -n 5 -quiet >/dev/null 2>&1; then
+		echo "adaptive smoke: -adaptive with -n was accepted" >&2
+		exit 1
+	fi
+	if go run ./cmd/faultcampaign -app wavetoy -adaptive -shard 0/2 -quiet >/dev/null 2>&1; then
+		echo "adaptive smoke: -adaptive with -shard was accepted" >&2
+		exit 1
+	fi
+	if go run ./cmd/faultcampaign -app wavetoy -d 0.1 -n 5 -quiet >/dev/null 2>&1; then
+		echo "adaptive smoke: -d without -adaptive was accepted" >&2
+		exit 1
+	fi
+	end
+fi
+
+if [ "$QUICK" = "1" ]; then
 	echo "== benchmark smoke skipped (TIER1_QUICK=1) =="
 else
 	begin "benchmark smoke"
